@@ -1,0 +1,57 @@
+"""Extension: the paper's bit-parallel combing vs the classic
+carry-based bit-vector LCS (Crochemore et al. / Hyyrö).
+
+The paper lists this head-to-head as future work (§6), anticipating
+that the Boolean-only algorithm wins on hardware where carry chains are
+expensive (FPGA). On CPython the comparison lands the other way: the
+classic algorithm's whole column fits in one big integer whose addition
+runs as a single C loop, while the anti-diagonal blocking of the
+paper's algorithm pays a NumPy dispatch per sub-step. Both results are
+recorded in EXPERIMENTS.md — the platform decides the winner, which is
+precisely the paper's point about carry-propagation costs being
+hardware-dependent.
+"""
+
+import pytest
+
+from repro.baselines.bit_hyyro import bit_lcs_hyyro, bit_lcs_hyyro_words
+from repro.bench.harness import BenchTable, scaled, time_call
+from repro.core.bitparallel import bit_lcs
+from repro.datasets.synthetic import binary_pair
+
+ENGINES = {
+    "bit_new2 (paper, Boolean-only)": lambda a, b: bit_lcs(a, b, variant="new2"),
+    "hyyro_bigint (carry-based)": lambda a, b: bit_lcs_hyyro(a, b),
+    "hyyro_words (explicit ripple)": lambda a, b: bit_lcs_hyyro_words(a, b),
+}
+
+
+@pytest.fixture(scope="module")
+def pair():
+    n = scaled(20_000)
+    return binary_pair(n, n, seed=37)
+
+
+@pytest.mark.parametrize("engine", list(ENGINES), ids=str)
+def test_bitparallel_families(benchmark, engine, pair):
+    a, b = pair
+    benchmark.group = "extension: bit-parallel families"
+    benchmark.pedantic(ENGINES[engine], args=(a, b), rounds=1, iterations=1)
+
+
+def test_hyyro_comparison_table(benchmark, print_table, pair):
+    a, b = pair
+
+    def build():
+        table = BenchTable(
+            f"Extension: bit-parallel families, binary n={len(a)}",
+            ["algorithm", "time_s", "lcs"],
+        )
+        for name, fn in ENGINES.items():
+            table.add(name, time_call(lambda: fn(a, b), repeats=1), fn(a, b))
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(table)
+    scores = {row[0]: row[2] for row in table.rows}
+    assert len(set(scores.values())) == 1, "all engines must agree on the score"

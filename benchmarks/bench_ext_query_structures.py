@@ -1,0 +1,81 @@
+"""Extension: semi-local score-query structures.
+
+The paper stores kernels in linear memory and pays polylogarithmic
+query time (footnote 1, citing [5, 6, 13]). This bench compares the
+three implemented structures — dense O(1)-query table, merge-sort tree
+(O(log^2 n)), wavelet matrix (O(log n)) — on construction and query
+cost, plus the O(n^2) vs O(n log n) memory tradeoff they embody.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import BenchTable, scaled, time_call
+from repro.core.dominance import DenseCounter, DominanceCounter, WaveletCounter
+
+STRUCTURES = {
+    "dense": DenseCounter,
+    "merge_sort_tree": DominanceCounter,
+    "wavelet_matrix": WaveletCounter,
+}
+
+
+@pytest.fixture(scope="module")
+def perm():
+    rng = np.random.default_rng(41)
+    return rng.permutation(scaled(4_000))
+
+
+@pytest.fixture(scope="module")
+def queries(perm):
+    rng = np.random.default_rng(43)
+    n = perm.size
+    return rng.integers(0, n + 1, size=(2_000, 2))
+
+
+@pytest.mark.parametrize("name", list(STRUCTURES), ids=str)
+def test_construction(benchmark, name, perm):
+    benchmark.group = "query structures: construction"
+    benchmark.pedantic(STRUCTURES[name], args=(perm,), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("name", list(STRUCTURES), ids=str)
+def test_query_throughput(benchmark, name, perm, queries):
+    counter = STRUCTURES[name](perm)
+
+    def run():
+        total = 0
+        for i, j in queries:
+            total += counter.count(int(i), int(j))
+        return total
+
+    benchmark.group = "query structures: 2000 queries"
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+def test_query_structures_table(benchmark, print_table, perm, queries):
+    def build():
+        table = BenchTable(
+            f"Extension: query structures, kernel order {perm.size}",
+            ["structure", "build_s", "query_2000_s", "all_agree"],
+        )
+        counters = {}
+        builds = {}
+        for name, cls in STRUCTURES.items():
+            builds[name] = time_call(lambda cls=cls: cls(perm), repeats=1)
+            counters[name] = cls(perm)
+        results = {
+            name: [c.count(int(i), int(j)) for i, j in queries[:200]]
+            for name, c in counters.items()
+        }
+        agree = len({tuple(v) for v in results.values()}) == 1
+        for name, c in counters.items():
+            q_time = time_call(
+                lambda c=c: [c.count(int(i), int(j)) for i, j in queries], repeats=1
+            )
+            table.add(name, builds[name], q_time, agree)
+        return table
+
+    table = benchmark.pedantic(build, rounds=1, iterations=1)
+    print_table(table)
+    assert all(row[3] for row in table.rows)

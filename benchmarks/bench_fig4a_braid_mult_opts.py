@@ -1,0 +1,51 @@
+"""Fig. 4a: sequential braid-multiplication optimizations.
+
+Paper result: precalc and memory preallocation each speed up the steady
+ant; their speedups shrink as n grows and converge to a constant,
+combining to ~1.75x at n = 10^7.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig4a_braid_mult_optimizations
+from repro.bench.harness import scaled
+from repro.core.steady_ant import (
+    steady_ant_combined,
+    steady_ant_memory,
+    steady_ant_precalc,
+    steady_ant_sequential,
+)
+
+VARIANTS = {
+    "base": steady_ant_sequential,
+    "precalc": steady_ant_precalc,
+    "memory": steady_ant_memory,
+    "combined": steady_ant_combined,
+}
+
+
+@pytest.fixture(scope="module")
+def perm_pair():
+    rng = np.random.default_rng(42)
+    n = scaled(40_000)
+    return rng.permutation(n), rng.permutation(n)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=str)
+def test_braid_mult_variant(benchmark, variant, perm_pair):
+    p, q = perm_pair
+    benchmark.group = "fig4a braid multiplication"
+    result = benchmark.pedantic(VARIANTS[variant], args=(p, q), rounds=3, iterations=1)
+    assert sorted(result.tolist()) == list(range(p.size))
+
+
+def test_fig4a_table(benchmark, print_table):
+    table = benchmark.pedantic(
+        lambda: fig4a_braid_mult_optimizations(repeats=1), rounds=1, iterations=1
+    )
+    print_table(table)
+    # reproduction check: precalc always helps, and its advantage shrinks
+    speedups = [row[2] for row in table.rows]
+    assert all(s > 1.0 for s in speedups)
+    assert speedups[-1] < speedups[0] * 1.5  # decays / converges, no growth

@@ -1,0 +1,47 @@
+"""Fig. 4b: task-parallel steady ant vs sequential-switch threshold.
+
+Paper result: on a fixed-size input with 8 cores/16 threads the optimal
+threshold is 4, giving a ~3.7x speedup; deeper thresholds add task
+overhead, shallower ones leave cores idle. The sequential top-level ant
+passages bound the speedup well below linear.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import fig4b_parallel_braid_mult
+from repro.bench.harness import scaled
+from repro.core.steady_ant.parallel import steady_ant_parallel
+from repro.parallel import SimulatedMachine
+
+
+@pytest.fixture(scope="module")
+def perm_pair():
+    rng = np.random.default_rng(7)
+    n = scaled(40_000)
+    return rng.permutation(n), rng.permutation(n)
+
+
+@pytest.mark.parametrize("depth", [0, 2, 4, 6])
+def test_parallel_ant_depth(benchmark, depth, perm_pair):
+    p, q = perm_pair
+    benchmark.group = "fig4b parallel steady ant (execution cost)"
+    result = benchmark.pedantic(
+        steady_ant_parallel,
+        args=(p, q),
+        kwargs={"machine": SimulatedMachine(workers=8), "depth": depth},
+        rounds=2,
+        iterations=1,
+    )
+    assert sorted(result.tolist()) == list(range(p.size))
+
+
+def test_fig4b_table(benchmark, print_table):
+    table = benchmark.pedantic(fig4b_parallel_braid_mult, rounds=1, iterations=1)
+    print_table(table)
+    speedups = {row[0]: row[2] for row in table.rows}
+    # some intermediate threshold must beat both extremes (the paper's
+    # hump at threshold 4)
+    interior_best = max(v for d, v in speedups.items() if 0 < d < 6)
+    assert interior_best >= speedups[0]
+    assert interior_best > 1.0

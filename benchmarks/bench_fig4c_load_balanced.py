@@ -1,0 +1,47 @@
+"""Fig. 4c: basic vs load-balanced sequential iterative combing.
+
+Paper result: the two sequential versions perform similarly (load
+balancing only pays off in parallel), and braid multiplication is a
+small fraction of the load-balanced version's time. In Python the
+braid-mult share is larger at our reduced sizes but falls steadily with
+n (the asymptotic shape: O(n log n) merge vs O(n^2) combing).
+"""
+
+import pytest
+
+from repro.bench.figures import fig4c_load_balanced_overhead
+from repro.bench.harness import scaled
+from repro.core.combing.iterative import (
+    iterative_combing_antidiag_simd,
+    iterative_combing_load_balanced,
+)
+from repro.datasets.synthetic import synthetic_pair
+
+VARIANTS = {
+    "iterative": iterative_combing_antidiag_simd,
+    "load_balanced": iterative_combing_load_balanced,
+}
+
+
+@pytest.fixture(scope="module")
+def pair():
+    n = scaled(8_000)
+    return synthetic_pair(n, n, sigma=1.0, seed=3)
+
+
+@pytest.mark.parametrize("variant", list(VARIANTS), ids=str)
+def test_sequential_combing_variant(benchmark, variant, pair):
+    a, b = pair
+    benchmark.group = "fig4c sequential combing"
+    kernel = benchmark.pedantic(VARIANTS[variant], args=(a, b), rounds=2, iterations=1)
+    assert kernel.size == len(a) + len(b)
+
+
+def test_fig4c_table(benchmark, print_table):
+    table = benchmark.pedantic(
+        lambda: fig4c_load_balanced_overhead(repeats=1), rounds=1, iterations=1
+    )
+    print_table(table)
+    shares = [row[3] for row in table.rows]
+    # braid-mult share decreases with n (merge cost is asymptotically lower)
+    assert shares[-1] < shares[0]

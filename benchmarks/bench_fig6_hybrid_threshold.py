@@ -1,0 +1,40 @@
+"""Fig. 6: hybrid-combing threshold depth vs sequential performance.
+
+Paper result: increasing the recursion depth creates parallel slack but
+hurts sequential time; for lengths under 10^5 the appropriate depth is
+<= 3, and the affordable depth grows with input length.
+"""
+
+import pytest
+
+from repro.bench.figures import fig6_hybrid_threshold
+from repro.bench.harness import scaled
+from repro.core.combing.hybrid import hybrid_combing
+from repro.datasets.synthetic import synthetic_pair
+
+
+@pytest.fixture(scope="module")
+def pair():
+    n = scaled(8_000)
+    return synthetic_pair(n, n, sigma=1.0, seed=5)
+
+
+@pytest.mark.parametrize("depth", [0, 1, 2, 3, 4])
+def test_hybrid_depth(benchmark, depth, pair):
+    a, b = pair
+    benchmark.group = "fig6 hybrid depth"
+    benchmark.pedantic(hybrid_combing, args=(a, b, depth), rounds=2, iterations=1)
+
+
+def test_fig6_table(benchmark, print_table):
+    table = benchmark.pedantic(lambda: fig6_hybrid_threshold(repeats=1), rounds=1, iterations=1)
+    print_table(table)
+    # slowdown at a fixed depth shrinks as n grows (the paper's
+    # "appropriate threshold becomes deeper for longer strings");
+    # compare at depth 3 — the deepest depth is noisier
+    by_n = {}
+    for n, depth, t, slowdown in table.rows:
+        by_n.setdefault(n, {})[depth] = slowdown
+    ns = sorted(by_n)
+    probe = 3 if 3 in by_n[ns[0]] else max(by_n[ns[0]])
+    assert by_n[ns[-1]][probe] < by_n[ns[0]][probe]

@@ -1,0 +1,62 @@
+"""Fig. 7: running time vs thread count for the parallel semi-local
+implementations (simulated p-worker machine; see DESIGN.md).
+
+Paper result: the hybrid algorithm beats parallel iterative combing;
+load balancing turned out to slow things down (synchronization is
+cheaper than the extra braid multiplications).
+"""
+
+import pytest
+
+from repro.bench.figures import fig7_threads
+from repro.bench.harness import scaled
+from repro.core.combing.parallel import (
+    parallel_hybrid_combing_grid,
+    parallel_iterative_combing,
+)
+from repro.datasets.synthetic import synthetic_pair
+from repro.parallel import SimulatedMachine
+
+
+@pytest.fixture(scope="module")
+def pair():
+    n = scaled(8_000)
+    return synthetic_pair(n, n, sigma=1.0, seed=13)
+
+
+@pytest.mark.parametrize("workers", [1, 4, 8])
+def test_parallel_iterative_cost(benchmark, workers, pair):
+    a, b = pair
+    benchmark.group = "fig7 wavefront execution cost"
+    benchmark.pedantic(
+        parallel_iterative_combing,
+        args=(a, b, SimulatedMachine(workers=workers)),
+        rounds=1,
+        iterations=1,
+    )
+
+
+@pytest.mark.parametrize("workers", [1, 4, 8])
+def test_parallel_hybrid_cost(benchmark, workers, pair):
+    a, b = pair
+    benchmark.group = "fig7 hybrid execution cost"
+    benchmark.pedantic(
+        parallel_hybrid_combing_grid,
+        args=(a, b, SimulatedMachine(workers=workers)),
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig7_table(benchmark, print_table):
+    table = benchmark.pedantic(
+        lambda: fig7_threads(threads=(1, 2, 4, 8)), rounds=1, iterations=1
+    )
+    print_table(table)
+    # the wavefront algorithm must get faster with workers; the hybrid
+    # is compose-bound at these sizes, so only require it not to blow up
+    iter_times = [row[1] for row in table.rows]
+    assert iter_times[-1] < iter_times[0]
+    for col in (2, 3):
+        times = [row[col] for row in table.rows]
+        assert times[-1] <= times[0] * 2.0

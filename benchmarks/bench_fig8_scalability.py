@@ -1,0 +1,44 @@
+"""Fig. 8: parallel speedup of the semi-local algorithms.
+
+Paper result: maximum ~4x speedup on synthetic strings of length 10^5
+with 7 threads (one fewer than the core count); ~5x on real-life
+strings; the hybrid's speedup is erratic when the partition heuristic
+produces unbalanced compositions.
+"""
+
+import pytest
+
+from repro.bench.figures import fig8_scalability
+
+
+def test_fig8_synthetic_table(benchmark, print_table):
+    table = benchmark.pedantic(
+        lambda: fig8_scalability(threads=(1, 2, 4, 8)), rounds=1, iterations=1
+    )
+    print_table(table)
+    # speedups grow from ~1 and stay sane (no superlinear artifacts > 2x #workers)
+    for row in table.rows:
+        t = row[0]
+        for speedup in row[1:]:
+            assert 0.2 < speedup <= 2 * t
+
+
+def test_fig8_genomes_table(benchmark, print_table):
+    table = benchmark.pedantic(
+        lambda: fig8_scalability(dataset="phage-ms2", threads=(1, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    print_table(table)
+    assert len(table.rows) == 3
+
+
+def test_fig8_wavefront_speedup_monotone_region(benchmark, print_table):
+    """The wavefront algorithm's simulated speedup at 4 workers must
+    exceed its 1-worker baseline on a large enough input."""
+    table = benchmark.pedantic(
+        lambda: fig8_scalability(threads=(1, 4)), rounds=1, iterations=1
+    )
+    print_table(table)
+    one, four = table.rows[0], table.rows[1]
+    assert four[1] > one[1] * 0.9

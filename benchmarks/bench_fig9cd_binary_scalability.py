@@ -1,0 +1,33 @@
+"""Fig. 9c/9d: scalability of bit_new_2 and hybrid combing on long
+binary strings.
+
+Paper result: on binary strings of length 10^6 both algorithms reach
+near-optimal speedup on 8 cores (hybrid: 7.95x) — long inputs amortize
+every synchronization.
+"""
+
+import pytest
+
+from repro.bench.figures import fig9cd_binary_scalability
+
+
+def test_fig9cd_table(benchmark, print_table):
+    table = benchmark.pedantic(
+        lambda: fig9cd_binary_scalability(threads=(1, 2, 4, 8)), rounds=1, iterations=1
+    )
+    print_table(table)
+    # bit-parallel and wavefront speedups grow in the small-worker range
+    bits = [row[1] for row in table.rows]
+    iters = [row[2] for row in table.rows]
+    assert bits[1] >= bits[0] * 0.9
+    assert iters[-1] >= iters[0] * 0.9
+    assert all(s > 0 for s in bits)
+
+
+def test_fig9cd_bit_speedup_at_8(benchmark, print_table):
+    table = benchmark.pedantic(
+        lambda: fig9cd_binary_scalability(threads=(1, 8)), rounds=1, iterations=1
+    )
+    print_table(table)
+    # with 8 simulated workers the bit algorithm must show real speedup
+    assert table.rows[-1][1] > 1.5

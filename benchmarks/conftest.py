@@ -1,0 +1,45 @@
+"""Configuration for the figure-regeneration benchmark suite.
+
+Each ``bench_fig*.py`` module contains:
+
+- micro-benchmarks of the figure's core kernels (pytest-benchmark), and
+- one ``test_*_table`` that regenerates the figure's full series and
+  prints it (the rows EXPERIMENTS.md records).
+
+Run with ``pytest benchmarks/ --benchmark-only``. Sizes default to a
+fraction of the paper's (CPython magnitudes); export
+``REPRO_BENCH_SCALE=1.0`` (or more) for larger runs.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+# keep the default suite quick; the figure functions scale from their
+# own defaults via REPRO_BENCH_SCALE
+os.environ.setdefault("REPRO_BENCH_SCALE", "0.15")
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(2021)
+
+
+@pytest.fixture
+def print_table(capsys):
+    """Print a BenchTable through pytest's capture (shown with -s / on
+    failure) and append it to benchmarks/results.txt for the record."""
+
+    def _print(table):
+        text = table.render()
+        with capsys.disabled():
+            print("\n" + text, flush=True)
+        path = os.path.join(os.path.dirname(__file__), "results.txt")
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write(text + "\n\n")
+        return table
+
+    return _print

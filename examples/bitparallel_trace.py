@@ -1,0 +1,19 @@
+"""Trace the bit-parallel combing anti-diagonal by anti-diagonal
+(paper Fig. 3, a = "1000", b = "0100", w = 4).
+
+Run:  python examples/bitparallel_trace.py [A B]
+"""
+
+import sys
+
+from repro.core.bitparallel import bit_lcs
+from repro.core.bitparallel.trace import format_snapshots
+
+a = sys.argv[1] if len(sys.argv) > 2 else "1000"
+b = sys.argv[2] if len(sys.argv) > 2 else "0100"
+
+print(format_snapshots(a, b))
+
+print("\ncross-check against the blocked implementations:")
+for variant in ("old", "new1", "new2"):
+    print(f"  bit_lcs(..., variant={variant!r}) = {bit_lcs(a, b, variant=variant)}")

@@ -1,0 +1,54 @@
+"""Two more faces of the library: LCS-based diff and streaming kernels.
+
+Run:  python examples/diff_and_streaming.py
+"""
+
+from repro.apps.diff import diff_lines, similarity, unified
+from repro.core.incremental import KernelBuilder
+
+# ---------------------------------------------------------------------------
+# 1. diff: minimal edit script between two "files"
+# ---------------------------------------------------------------------------
+old = """def lcs(a, b):
+    table = build_table(a, b)
+    return table[-1][-1]
+
+def main():
+    print(lcs("ab", "ba"))
+"""
+
+new = """def lcs(a, b):
+    # semi-local: one kernel answers every substring query
+    kernel = comb(a, b)
+    return kernel.lcs_whole()
+
+def main():
+    print(lcs("ab", "ba"))
+"""
+
+ops = diff_lines(old, new)
+print("unified diff:")
+print(unified(ops))
+changed = sum(1 for op in ops if op.kind != "=")
+print(f"\n{changed} changed lines; similarity {similarity(old, new):.0%}")
+
+# ---------------------------------------------------------------------------
+# 2. streaming: maintain P_{a,b} while `a` grows block by block
+# ---------------------------------------------------------------------------
+reference = "the quick brown fox jumps over the lazy dog"
+builder = KernelBuilder(reference)
+print(f"\nstreaming a query against {reference!r}:")
+for block in ("the quick ", "crimson ", "fox ", "leaps over ", "the lazy dog"):
+    builder.append(block)
+    k = builder.kernel()
+    print(
+        f"  after {builder.m:2d} chars: LCS = {k.lcs_whole():2d}, "
+        f"best suffix-vs-prefix = {max(k.suffix_prefix(l, len(reference)) for l in range(builder.m + 1))}"
+    )
+
+final = builder.kernel()
+print(f"\nfinal LCS({builder.m} x {builder.n}) = {final.lcs_whole()}")
+# one kernel, every window: where does the accumulated query best match?
+scores = [final.string_substring(l, min(l + builder.m, final.n)) for l in range(final.n - 10)]
+best = max(range(len(scores)), key=scores.__getitem__)
+print(f"best window of the reference starts at {best} (score {scores[best]})")

@@ -1,0 +1,59 @@
+"""Quickstart: the public API in five minutes.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+# ---------------------------------------------------------------------------
+# 1. Plain LCS — the classical problem
+# ---------------------------------------------------------------------------
+a, b = "dynamic programming", "sticky braid combing"
+print(f"LCS({a!r}, {b!r}) = {repro.lcs(a, b)}")
+witness = repro.decode(repro.lcs_backtrack(a, b))
+print(f"one longest common subsequence: {witness!r}")
+
+# ---------------------------------------------------------------------------
+# 2. Semi-local LCS — every substring comparison from ONE computation
+# ---------------------------------------------------------------------------
+kernel = repro.semilocal_lcs(a, b)
+print(f"\nsemi-local kernel: {kernel}")
+print(f"whole-vs-whole     : {kernel.lcs_whole()}")
+print(f"a vs b[7:13)       : {kernel.string_substring(7, 13)}")
+print(f"a[0:7) vs b        : {kernel.substring_string(0, 7)}")
+print(f"prefix a[:7) vs suffix b[3:]: {kernel.prefix_suffix(7, 3)}")
+print(f"suffix a[7:] vs prefix b[:9): {kernel.suffix_prefix(7, 9)}")
+
+# every algorithm produces the same kernel — pick by workload:
+for name in repro.SEMILOCAL_ALGORITHMS:
+    k = repro.semilocal_lcs("BAABCBCA", "BAABCABCABACA", algorithm=name)
+    assert k.lcs_whole() == 8, name
+print("\nall", len(repro.SEMILOCAL_ALGORITHMS), "combing algorithms agree")
+
+# ---------------------------------------------------------------------------
+# 3. Approximate matching: where does the pattern occur?
+# ---------------------------------------------------------------------------
+pattern = "GATTACA"
+text = "CCCGATTACACCCCGATACACCCTTGATTACATT"
+profile = repro.sliding_window_scores(pattern, text)
+best = int(np.argmax(profile))
+print(f"\nbest window of {pattern!r} in text: offset {best}, score {profile[best]}/7")
+for m in repro.find_matches(pattern, text, min_score=6):
+    print(f"  match at [{m.start}:{m.end}) score {m.score}: {text[m.start:m.end]!r}")
+
+# ---------------------------------------------------------------------------
+# 4. Bit-parallel LCS for binary strings (the paper's novel algorithm)
+# ---------------------------------------------------------------------------
+x = "110100111010011101"
+y = "011011010011001011"
+print(f"\nbit-parallel LCS({x}, {y}) = {repro.bit_lcs(x, y)}")
+
+# ---------------------------------------------------------------------------
+# 5. Sticky braids, explicitly (Fig. 1 of the paper)
+# ---------------------------------------------------------------------------
+braid = repro.StickyBraid("abcb", "bcab")
+print(f"\n{braid}")
+print(braid.ascii_grid())
+print("kernel (start -> end):", braid.kernel.tolist())

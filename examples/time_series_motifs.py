@@ -1,0 +1,51 @@
+"""Find a pattern in a noisy time series with semi-local LCS
+(the application suggested in the paper's conclusion).
+
+A known motif (a two-frequency burst) is planted twice in a noisy
+series; we discretize both SAX-style and locate the occurrences with the
+semi-local sliding-window profile.
+
+Note: the discretization z-normalizes *globally*, so occurrences are
+found under noise but not under large amplitude/offset changes (use
+per-window normalization upstream if you need that invariance).
+
+Run:  python examples/time_series_motifs.py
+"""
+
+import numpy as np
+
+from repro.apps.motifs import find_motif, motif_profile
+
+rng = np.random.default_rng(42)
+
+# ---------------------------------------------------------------------------
+# build a series: noise + motif + noise + motif + noise
+# ---------------------------------------------------------------------------
+t = np.linspace(0, 5 * np.pi, 80)
+motif = np.sin(t) + 0.5 * np.sin(2.3 * t)
+
+noise = lambda k: rng.normal(scale=0.3, size=k)  # noqa: E731
+series = np.concatenate(
+    [noise(200), motif + noise(80) * 0.2, noise(150), motif + noise(80) * 0.2, noise(120)]
+)
+true_positions = [200, 200 + 80 + 150]
+print(f"series of {series.size} points; motif of {motif.size} points planted at {true_positions}")
+
+# ---------------------------------------------------------------------------
+# similarity profile + matches
+# ---------------------------------------------------------------------------
+profile = motif_profile(series, motif, levels=8)
+print(f"\nprofile peak: {profile.max()}/{motif.size} at offset {int(np.argmax(profile))}")
+
+matches = find_motif(series, motif, levels=8, min_similarity=0.6)
+print("\nmatches with >= 60% LCS similarity:")
+for m in matches:
+    nearest = min(true_positions, key=lambda p: abs(p - m.start))
+    print(
+        f"  [{m.start:4d}, {m.end:4d}) score {m.score}/{motif.size}"
+        f"  (planted at {nearest}, off by {abs(m.start - nearest)})"
+    )
+
+found = {min(true_positions, key=lambda p: abs(p - m.start)) for m in matches if m.score}
+assert found == set(true_positions), "both planted occurrences should be recovered"
+print("\nboth planted occurrences recovered")

@@ -1,0 +1,131 @@
+"""repro — efficient parallel algorithms for string comparison.
+
+A from-scratch Python reproduction of
+
+    Nikita Mishin, Daniil Berezun, Alexander Tiskin.
+    "Efficient Parallel Algorithms for String Comparison." ICPP 2021.
+
+The library implements semi-local LCS via sticky-braid combing
+(iterative, recursive, hybrid), steady-ant braid multiplication with the
+paper's optimizations, the novel bit-parallel LCS for binary alphabets,
+classic DP baselines, a parallel-execution substrate, dataset generators
+and the full benchmark suite regenerating the paper's figures.
+
+Quick start::
+
+    import repro
+
+    k = repro.semilocal_lcs("BAABCBCA", "BAABCABCABACA")
+    k.lcs_whole()                 # classic LCS score
+    k.string_substring(2, 9)      # LCS of a vs b[2:9]
+    repro.lcs("define", "design") # plain LCS score
+    repro.bit_lcs("1011010", "0110110")  # binary bit-parallel
+
+See DESIGN.md for the architecture and EXPERIMENTS.md for the
+paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from . import alphabet, apps, baselines, datasets, parallel
+from .alphabet import decode, encode
+from .apps.approximate_matching import find_matches, sliding_window_scores
+from .baselines.lcs_dp import lcs_backtrack, lcs_score_dp
+from .baselines.prefix_lcs import prefix_lcs_antidiag_simd, prefix_lcs_rowmajor
+from .core.bitparallel import bit_lcs, bit_lcs_bigint
+from .core.braid import StickyBraid
+from .core.combing.hybrid import hybrid_combing, hybrid_combing_grid
+from .core.combing.iterative import (
+    iterative_combing_antidiag,
+    iterative_combing_antidiag_simd,
+    iterative_combing_load_balanced,
+    iterative_combing_rowmajor,
+)
+from .core.combing.recursive import recursive_combing
+from .core.incremental import KernelBuilder
+from .core.kernel import SemiLocalKernel
+from .core.permutation import Permutation
+from .core.steady_ant import (
+    steady_ant_combined,
+    steady_ant_memory,
+    steady_ant_multiply,
+    steady_ant_parallel,
+    steady_ant_precalc,
+    steady_ant_sequential,
+)
+
+__version__ = "1.0.0"
+
+#: Algorithm registry: paper §5 implementation names -> callables
+#: producing a semi-local kernel from two strings.
+SEMILOCAL_ALGORITHMS = {
+    "semi_rowmajor": iterative_combing_rowmajor,
+    "semi_antidiag": iterative_combing_antidiag,
+    "semi_antidiag_simd": iterative_combing_antidiag_simd,
+    "semi_load_balanced": iterative_combing_load_balanced,
+    "semi_recursive": recursive_combing,
+    "semi_hybrid": hybrid_combing,
+    "semi_hybrid_iterative": hybrid_combing_grid,
+}
+
+
+def semilocal_lcs(a, b, algorithm: str = "semi_antidiag_simd", **kwargs) -> SemiLocalKernel:
+    """Solve the semi-local LCS problem for strings *a*, *b*.
+
+    *algorithm* is a key of :data:`SEMILOCAL_ALGORITHMS`. Returns a
+    :class:`repro.core.kernel.SemiLocalKernel` answering all four
+    quadrants of Definition 3.2.
+    """
+    try:
+        algo = SEMILOCAL_ALGORITHMS[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; available: {sorted(SEMILOCAL_ALGORITHMS)}"
+        ) from None
+    ca, cb = encode(a), encode(b)
+    return SemiLocalKernel(algo(ca, cb, **kwargs), ca.size, cb.size, validate=False)
+
+
+def lcs(a, b) -> int:
+    """Plain LCS score (vectorized prefix DP baseline)."""
+    return prefix_lcs_rowmajor(a, b)
+
+
+__all__ = [
+    "__version__",
+    "semilocal_lcs",
+    "lcs",
+    "bit_lcs",
+    "bit_lcs_bigint",
+    "SemiLocalKernel",
+    "KernelBuilder",
+    "Permutation",
+    "StickyBraid",
+    "SEMILOCAL_ALGORITHMS",
+    "encode",
+    "decode",
+    "find_matches",
+    "sliding_window_scores",
+    "lcs_score_dp",
+    "lcs_backtrack",
+    "prefix_lcs_rowmajor",
+    "prefix_lcs_antidiag_simd",
+    "iterative_combing_rowmajor",
+    "iterative_combing_antidiag",
+    "iterative_combing_antidiag_simd",
+    "iterative_combing_load_balanced",
+    "recursive_combing",
+    "hybrid_combing",
+    "hybrid_combing_grid",
+    "steady_ant_sequential",
+    "steady_ant_precalc",
+    "steady_ant_memory",
+    "steady_ant_combined",
+    "steady_ant_multiply",
+    "steady_ant_parallel",
+    "alphabet",
+    "apps",
+    "baselines",
+    "datasets",
+    "parallel",
+]

@@ -1,0 +1,45 @@
+"""Applications of semi-local LCS.
+
+The paper motivates semi-local comparison by approximate matching and
+real-life sequence analysis (§1, §6). These modules are small,
+documented drivers of the public API:
+
+- :mod:`repro.apps.approximate_matching` — find where a pattern
+  approximately occurs in a text (string-substring scores);
+- :mod:`repro.apps.genome_similarity` — alignment-free strain comparison
+  and UPGMA phylogeny from LCS distances;
+- :mod:`repro.apps.motifs` — pattern search in discretized time series
+  (the paper's closing suggestion).
+"""
+
+from .approximate_matching import (
+    Match,
+    best_window,
+    sliding_window_scores,
+    find_matches,
+)
+from .diff import DiffOp, diff, diff_lines, similarity, unified
+from .edit_distance import best_indel_window, indel_distance, window_distances
+from .genome_similarity import lcs_distance, similarity_matrix, upgma_newick
+from .motifs import discretize, find_motif, motif_profile
+
+__all__ = [
+    "Match",
+    "best_window",
+    "sliding_window_scores",
+    "find_matches",
+    "DiffOp",
+    "diff",
+    "diff_lines",
+    "unified",
+    "similarity",
+    "indel_distance",
+    "window_distances",
+    "best_indel_window",
+    "lcs_distance",
+    "similarity_matrix",
+    "upgma_newick",
+    "discretize",
+    "find_motif",
+    "motif_profile",
+]

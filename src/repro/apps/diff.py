@@ -1,0 +1,95 @@
+"""Minimal diff: LCS-based edit scripts between sequences.
+
+The everyday face of the LCS problem: ``diff`` keeps the longest common
+subsequence and reports everything else as deletions/insertions. Built
+on Hirschberg's linear-space recovery, so token sequences of hundreds of
+thousands of lines are fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..alphabet import encode
+from ..baselines.hirschberg import hirschberg_lcs
+from ..types import Sequenceish
+
+
+@dataclass(frozen=True)
+class DiffOp:
+    """One edit operation: ``kind`` is '=' (keep), '-' (delete from a),
+    or '+' (insert from b); ``value`` is the affected element."""
+
+    kind: str
+    value: object
+
+    def __str__(self) -> str:
+        return f"{self.kind} {self.value!r}"
+
+
+def _ops(a_items: Sequence, b_items: Sequence, common: list) -> Iterator[DiffOp]:
+    ia = ib = 0
+    for c in common:
+        while a_items[ia] != c:
+            yield DiffOp("-", a_items[ia])
+            ia += 1
+        while b_items[ib] != c:
+            yield DiffOp("+", b_items[ib])
+            ib += 1
+        yield DiffOp("=", c)
+        ia += 1
+        ib += 1
+    for x in a_items[ia:]:
+        yield DiffOp("-", x)
+    for y in b_items[ib:]:
+        yield DiffOp("+", y)
+
+
+def diff(a: Sequenceish, b: Sequenceish) -> list[DiffOp]:
+    """Edit script turning *a* into *b*, minimal in insertions+deletions.
+
+    Works on strings (character diff) or any integer sequences (token
+    diff — hash your tokens to ints for line-based diffing).
+    """
+    ca, cb = encode(a), encode(b)
+    common = hirschberg_lcs(ca, cb).tolist()
+    if isinstance(a, str) and isinstance(b, str):
+        return list(_ops(list(a), list(b), [chr(c) for c in common]))
+    return list(_ops(ca.tolist(), cb.tolist(), common))
+
+
+def diff_lines(a_text: str, b_text: str) -> list[DiffOp]:
+    """Line-based diff of two texts (the classic ``diff`` granularity)."""
+    a_lines = a_text.splitlines()
+    b_lines = b_text.splitlines()
+    # map lines to integer tokens
+    table: dict[str, int] = {}
+    def tok(line: str) -> int:
+        return table.setdefault(line, len(table))
+
+    a_toks = [tok(x) for x in a_lines]
+    b_toks = [tok(x) for x in b_lines]
+    common = hirschberg_lcs(a_toks, b_toks).tolist()
+    rev = {v: k for k, v in table.items()}
+    ops = list(_ops(a_toks, b_toks, common))
+    return [DiffOp(op.kind, rev[op.value]) for op in ops]
+
+
+def unified(ops: list[DiffOp]) -> str:
+    """Render an edit script in a unified-diff-like textual form."""
+    lines = []
+    for op in ops:
+        prefix = {"=": " ", "-": "-", "+": "+"}[op.kind]
+        lines.append(f"{prefix}{op.value}")
+    return "\n".join(lines)
+
+
+def similarity(a: Sequenceish, b: Sequenceish) -> float:
+    """Dice-style similarity ``2*LCS / (|a| + |b|)`` in [0, 1]."""
+    ca, cb = encode(a), encode(b)
+    if ca.size + cb.size == 0:
+        return 1.0
+    from ..baselines.prefix_lcs import prefix_lcs_rowmajor
+
+    return 2.0 * prefix_lcs_rowmajor(ca, cb) / (ca.size + cb.size)

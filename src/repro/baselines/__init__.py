@@ -1,0 +1,32 @@
+"""Baseline LCS algorithms the paper compares against.
+
+- :mod:`repro.baselines.lcs_dp` — classic quadratic dynamic programming
+  (score, full table, backtracking).
+- :mod:`repro.baselines.prefix_lcs` — linear-space "prefix LCS"
+  (Aluru-style parallel-prefix row updates; ``prefix_rowmajor`` and
+  ``prefix_antidiag_simd`` in the paper's notation).
+- :mod:`repro.baselines.hirschberg` — linear-space LCS recovery.
+- :mod:`repro.baselines.semilocal_naive` — brute-force semi-local LCS
+  matrix straight from Definition 3.3 (test oracle).
+"""
+
+from .lcs_dp import lcs_score_dp, lcs_table, lcs_backtrack
+from .prefix_lcs import prefix_lcs_rowmajor, prefix_lcs_antidiag_simd, prefix_lcs_scalar
+from .hirschberg import hirschberg_lcs
+from .semilocal_naive import semilocal_h_matrix_naive, lcs_with_wildcards
+from .bit_hyyro import bit_lcs_hyyro, bit_lcs_hyyro_words, hyyro_profile
+
+__all__ = [
+    "lcs_score_dp",
+    "lcs_table",
+    "lcs_backtrack",
+    "prefix_lcs_rowmajor",
+    "prefix_lcs_antidiag_simd",
+    "prefix_lcs_scalar",
+    "hirschberg_lcs",
+    "semilocal_h_matrix_naive",
+    "lcs_with_wildcards",
+    "bit_lcs_hyyro",
+    "bit_lcs_hyyro_words",
+    "hyyro_profile",
+]

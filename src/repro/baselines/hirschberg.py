@@ -1,0 +1,49 @@
+"""Hirschberg's linear-space LCS recovery [11].
+
+Divide-and-conquer: split ``a`` in half, find the optimal split point of
+``b`` by combining forward scores of the left half with backward scores of
+the right half, recurse. O(mn) time, O(m + n) space. The row scores are
+computed with the vectorized prefix-maximum update, so the Python-level
+recursion contributes only O(m log m) overhead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet import encode
+from ..types import CodeArray, Sequenceish
+
+
+def _last_row(ca: CodeArray, cb: CodeArray) -> np.ndarray:
+    """``out[j] = LCS(ca, cb[:j])`` for all j, linear space."""
+    row = np.zeros(cb.size + 1, dtype=np.int64)
+    for ch in ca:
+        candidate = np.maximum(row[1:], row[:-1] + (cb == ch))
+        np.maximum.accumulate(candidate, out=row[1:])
+    return row
+
+
+def _hirschberg(ca: CodeArray, cb: CodeArray, out: list[int]) -> None:
+    m = ca.size
+    if m == 0 or cb.size == 0:
+        return
+    if m == 1:
+        hit = np.nonzero(cb == ca[0])[0]
+        if hit.size:
+            out.append(int(ca[0]))
+        return
+    mid = m // 2
+    fwd = _last_row(ca[:mid], cb)
+    bwd = _last_row(ca[mid:][::-1], cb[::-1])[::-1]
+    split = int(np.argmax(fwd + bwd))
+    _hirschberg(ca[:mid], cb[:split], out)
+    _hirschberg(ca[mid:], cb[split:], out)
+
+
+def hirschberg_lcs(a: Sequenceish, b: Sequenceish) -> CodeArray:
+    """One longest common subsequence in linear space (encoded)."""
+    ca, cb = encode(a), encode(b)
+    out: list[int] = []
+    _hirschberg(ca, cb, out)
+    return np.asarray(out, dtype=np.int64)

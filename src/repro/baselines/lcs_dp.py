@@ -1,0 +1,78 @@
+"""Classic dynamic-programming LCS (Wagner-Fischer style).
+
+The quadratic-table algorithm [27] is the reference implementation every
+other LCS algorithm in this library is tested against. It is deliberately
+simple; the fast baselines live in :mod:`repro.baselines.prefix_lcs`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet import encode
+from ..types import CodeArray, Sequenceish
+
+
+def lcs_table(a: Sequenceish, b: Sequenceish) -> np.ndarray:
+    """Full ``(m+1) x (n+1)`` DP table ``D`` with ``D[i, j] = LCS(a[:i], b[:j])``.
+
+    Row ``i`` is computed from row ``i-1`` with the vectorized
+    prefix-maximum update (see :mod:`repro.baselines.prefix_lcs` for the
+    derivation), so building the table is O(mn) NumPy work rather than a
+    Python-level double loop.
+    """
+    ca, cb = encode(a), encode(b)
+    m, n = ca.size, cb.size
+    table = np.zeros((m + 1, n + 1), dtype=np.int64)
+    for i in range(1, m + 1):
+        match = (cb == ca[i - 1]).astype(np.int64)
+        candidate = np.maximum(table[i - 1, 1:], table[i - 1, :-1] + match)
+        table[i, 1:] = np.maximum.accumulate(candidate)
+    return table
+
+
+def lcs_score_dp(a: Sequenceish, b: Sequenceish) -> int:
+    """LCS score via the full DP table."""
+    return int(lcs_table(a, b)[-1, -1])
+
+
+def lcs_backtrack(a: Sequenceish, b: Sequenceish) -> CodeArray:
+    """One longest common subsequence, recovered by backtracking the table.
+
+    Returns the *encoded* subsequence; use :func:`repro.alphabet.decode`
+    to get back a string when the inputs were strings.
+    """
+    ca, cb = encode(a), encode(b)
+    table = lcs_table(ca, cb)
+    i, j = ca.size, cb.size
+    out: list[int] = []
+    while i > 0 and j > 0:
+        if ca[i - 1] == cb[j - 1]:
+            out.append(int(ca[i - 1]))
+            i -= 1
+            j -= 1
+        elif table[i - 1, j] >= table[i, j - 1]:
+            i -= 1
+        else:
+            j -= 1
+    return np.asarray(out[::-1], dtype=np.int64)
+
+
+def lcs_score_scalar(a: Sequenceish, b: Sequenceish) -> int:
+    """Pure-Python scalar DP, linear space.
+
+    The slowest, most obviously-correct implementation; used as the oracle
+    in property tests so a shared NumPy bug cannot mask itself.
+    """
+    ca, cb = encode(a).tolist(), encode(b).tolist()
+    n = len(cb)
+    prev = [0] * (n + 1)
+    for x in ca:
+        cur = [0] * (n + 1)
+        for j in range(1, n + 1):
+            if x == cb[j - 1]:
+                cur[j] = prev[j - 1] + 1
+            else:
+                cur[j] = max(prev[j], cur[j - 1])
+        prev = cur
+    return prev[n]

@@ -1,0 +1,16 @@
+"""Benchmark harness regenerating the paper's figures.
+
+:mod:`repro.bench.harness` provides timing and table utilities;
+:mod:`repro.bench.figures` has one entry point per paper figure, each
+returning the same series the figure plots. The ``benchmarks/`` pytest
+suite and the ``repro-lcs bench`` CLI both drive these entry points.
+
+Scaling: the paper benchmarks C++/OpenMP/AVX code at sizes up to 10^6-10^7;
+pure Python reproduces the *shapes* at smaller sizes. Every entry point
+takes explicit sizes with defaults chosen to finish in seconds; set
+``REPRO_BENCH_SCALE`` (float) to grow or shrink all defaults.
+"""
+
+from .harness import BenchTable, bench_scale, time_call
+
+__all__ = ["BenchTable", "bench_scale", "time_call"]

@@ -1,0 +1,78 @@
+"""Timing and reporting utilities for the figure benchmarks."""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+
+def bench_scale(default: float = 1.0) -> float:
+    """Global size multiplier from ``REPRO_BENCH_SCALE``."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", default))
+    except ValueError:  # pragma: no cover - user error
+        return default
+
+
+def scaled(size: int, minimum: int = 16) -> int:
+    """Apply the global scale to a default size."""
+    return max(minimum, int(size * bench_scale()))
+
+
+def time_call(fn: Callable[[], Any], *, repeats: int = 3, warmup: int = 1) -> float:
+    """Best-of-*repeats* wall time of ``fn()`` (after *warmup* calls)."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class BenchTable:
+    """Rows of measurements, printable as an aligned text table.
+
+    The figure entry points return one of these; its rows are also what
+    EXPERIMENTS.md records.
+    """
+
+    title: str
+    columns: Sequence[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(tuple(values))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def _fmt(self, v) -> str:
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    def render(self) -> str:
+        cells = [[self._fmt(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(str(c)), *(len(r[k]) for r in cells)) if cells else len(str(c))
+            for k, c in enumerate(self.columns)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(str(c).ljust(w) for c, w in zip(self.columns, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in cells:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"# {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,203 @@
+"""Command-line interface: ``repro-lcs`` (or ``python -m repro.cli``).
+
+Subcommands
+-----------
+
+- ``lcs A B`` — plain LCS score (and optionally one LCS witness),
+- ``semilocal A B`` — semi-local queries / full H matrix for small inputs,
+- ``bit A B`` — bit-parallel LCS of two binary strings,
+- ``braid A B`` — ASCII sticky-braid cell map and kernel (Fig. 1),
+- ``diff OLD NEW`` — line diff of two files,
+- ``trace A B`` — bit-parallel anti-diagonal trace (Fig. 3),
+- ``bench NAME`` — run a figure benchmark (``bench list`` to enumerate),
+- ``genomes`` — generate a simulated virus-strain FASTA file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_lcs(args) -> int:
+    from .alphabet import decode
+    from .baselines.lcs_dp import lcs_backtrack
+    from .baselines.prefix_lcs import prefix_lcs_rowmajor
+
+    score = prefix_lcs_rowmajor(args.a, args.b)
+    print(f"LCS({args.a!r}, {args.b!r}) = {score}")
+    if args.witness:
+        print(f"one LCS: {decode(lcs_backtrack(args.a, args.b))!r}")
+    return 0
+
+
+def _cmd_semilocal(args) -> int:
+    from . import semilocal_lcs
+
+    k = semilocal_lcs(args.a, args.b, algorithm=args.algorithm)
+    print(f"kernel order: {k.m + k.n} (m={k.m}, n={k.n})")
+    print(f"LCS(a, b) = {k.lcs_whole()}")
+    if args.h_matrix:
+        if k.m + k.n > 64:
+            print("H matrix too large to print (m + n > 64)", file=sys.stderr)
+            return 1
+        print(k.h_matrix())
+    if args.query:
+        kind, l, r = args.query
+        fn = {
+            "string-substring": k.string_substring,
+            "substring-string": k.substring_string,
+            "prefix-suffix": k.prefix_suffix,
+            "suffix-prefix": k.suffix_prefix,
+        }[kind]
+        print(f"{kind}({l}, {r}) = {fn(int(l), int(r))}")
+    return 0
+
+
+def _cmd_bit(args) -> int:
+    from .core.bitparallel import bit_lcs
+
+    print(bit_lcs(args.a, args.b, variant=args.variant))
+    return 0
+
+
+def _cmd_braid(args) -> int:
+    from .core.braid import StickyBraid
+
+    braid = StickyBraid(args.a, args.b)
+    print(braid)
+    print(braid.ascii_grid())
+    print("kernel:", braid.kernel.tolist())
+    if args.svg:
+        with open(args.svg, "w", encoding="ascii") as fh:
+            fh.write(braid.to_svg())
+        print(f"wrote {args.svg}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from .core.bitparallel.trace import format_snapshots
+
+    print(format_snapshots(args.a, args.b))
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    from .apps.diff import diff_lines, similarity, unified
+
+    with open(args.old, encoding="utf-8") as fh:
+        old = fh.read()
+    with open(args.new, encoding="utf-8") as fh:
+        new = fh.read()
+    print(unified(diff_lines(old, new)))
+    print(f"similarity: {similarity(old, new):.1%}")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .bench.figures import FIGURES
+
+    if args.name == "list":
+        for name, fn in sorted(FIGURES.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:14s} {doc}")
+        return 0
+    if args.name == "all":
+        names = sorted(FIGURES)
+    else:
+        names = [args.name]
+    for name in names:
+        try:
+            fn = FIGURES[name]
+        except KeyError:
+            print(f"unknown figure {name!r}; try 'bench list'", file=sys.stderr)
+            return 1
+        print(fn().render())
+        print()
+    return 0
+
+
+def _cmd_genomes(args) -> int:
+    from .datasets.fasta import write_fasta
+    from .datasets.genomes import VIRUS_PRESETS, GenomeSimulator
+
+    length = VIRUS_PRESETS.get(args.preset)
+    if length is None:
+        print(f"unknown preset {args.preset!r}; available: {sorted(VIRUS_PRESETS)}", file=sys.stderr)
+        return 1
+    sim = GenomeSimulator(seed=args.seed)
+    strains = sim.strains(length, args.count)
+    write_fasta(args.output, sim.to_fasta_records(strains, prefix=args.preset))
+    print(f"wrote {args.count} simulated {args.preset} strains to {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lcs",
+        description="Semi-local LCS, sticky braids and bit-parallel LCS (ICPP 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("lcs", help="plain LCS score")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--witness", action="store_true", help="also print one LCS")
+    p.set_defaults(fn=_cmd_lcs)
+
+    p = sub.add_parser("semilocal", help="semi-local LCS queries")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--algorithm", default="semi_antidiag_simd")
+    p.add_argument("--h-matrix", action="store_true", help="print the full H matrix")
+    p.add_argument(
+        "--query",
+        nargs=3,
+        metavar=("KIND", "L", "R"),
+        help="KIND in {string-substring, substring-string, prefix-suffix, suffix-prefix}",
+    )
+    p.set_defaults(fn=_cmd_semilocal)
+
+    p = sub.add_parser("bit", help="bit-parallel LCS of binary strings")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--variant", default="new2", choices=["old", "new1", "new2"])
+    p.set_defaults(fn=_cmd_bit)
+
+    p = sub.add_parser("braid", help="show the sticky braid of a pair (Fig. 1)")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--svg", help="write an SVG rendering to this path")
+    p.set_defaults(fn=_cmd_braid)
+
+    p = sub.add_parser("trace", help="bit-parallel anti-diagonal trace (Fig. 3)")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.set_defaults(fn=_cmd_trace)
+
+    p = sub.add_parser("diff", help="line diff of two files (LCS-based)")
+    p.add_argument("old")
+    p.add_argument("new")
+    p.set_defaults(fn=_cmd_diff)
+
+    p = sub.add_parser("bench", help="run a figure benchmark ('bench list')")
+    p.add_argument("name")
+    p.set_defaults(fn=_cmd_bench)
+
+    p = sub.add_parser("genomes", help="generate simulated virus strains (FASTA)")
+    p.add_argument("--preset", default="coronavirus")
+    p.add_argument("--count", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--output", default="strains.fasta")
+    p.set_defaults(fn=_cmd_genomes)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,11 @@
+"""Core algorithms: permutations, kernels, combing, steady ant, bit-parallel."""
+
+from .permutation import Permutation, identity_permutation, random_permutation
+from .kernel import SemiLocalKernel
+
+__all__ = [
+    "Permutation",
+    "identity_permutation",
+    "random_permutation",
+    "SemiLocalKernel",
+]

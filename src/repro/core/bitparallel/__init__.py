@@ -1,0 +1,30 @@
+"""Bit-parallel LCS for binary alphabets (paper §4.4, Listing 8).
+
+The novel algorithm combs the braid with *one bit per strand*: horizontal
+strands start as 1-bits, vertical as 0-bits, and the combing condition
+"match or crossed before" becomes pure Boolean logic — no integer
+additions, no carry chains, no lookup tables. The grid is processed in
+anti-diagonal blocks of ``w x w`` cells; within a block, cell
+anti-diagonals are aligned by shifts.
+
+Implementations (paper §5 notation):
+
+- :func:`bit_lcs` with ``variant="old"`` — ``bit_old``: words are
+  re-loaded from memory for every cell anti-diagonal of a block;
+- ``variant="new1"`` — ``bit_new_1``: words loaded once per block and
+  kept in registers (here: NumPy locals), original Boolean formula;
+- ``variant="new2"`` — ``bit_new_2``: all optimizations — register
+  blocking, the optimized 12-operation update formula, the XOR-patch
+  update of ``h``, and the negated-``a`` encoding;
+- :func:`bit_lcs_bigint` — the whole grid processed with Python
+  arbitrary-precision integers as one giant machine word (simple oracle,
+  quadratic word traffic — small inputs only);
+- :func:`repro.core.bitparallel.trace.bit_combing_snapshots` — per-anti-
+  diagonal strand snapshots reproducing Fig. 3.
+"""
+
+from .bitlcs import bit_lcs
+from .bigint import bit_lcs_bigint
+from .words import pack_a_words, pack_b_words
+
+__all__ = ["bit_lcs", "bit_lcs_bigint", "pack_a_words", "pack_b_words"]

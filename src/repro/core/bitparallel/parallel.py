@@ -1,0 +1,112 @@
+"""Machine-parameterized bit-parallel LCS (paper Fig. 9 thread scaling).
+
+The blocks of one block-anti-diagonal are mutually independent,
+identical-cost items, so each block-anti-diagonal is one *uniform round*
+(see :meth:`repro.parallel.api.Machine.run_uniform_round`): a p-thread
+machine splits the blocks evenly and synchronizes once per round. The
+``old`` variant re-loads and writes back every word on each of the
+``2w - 1`` inner steps — the extra shared-array traffic (and, on real
+hardware, false sharing between threads) that the paper's memory-access
+optimization removes; ``new1`` and ``new2`` touch the arrays once per
+block.
+
+Results are identical to :func:`repro.core.bitparallel.bitlcs.bit_lcs`;
+the machine accounts the parallel cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...alphabet import encode, to_binary
+from ...types import Sequenceish
+from .bitlcs import Variant, _triangle_masks
+from .words import MAX_WIDTH, WORD_DTYPE, pack_a_words, pack_b_words, popcount_words, word_mask
+
+_U = WORD_DTYPE
+
+
+def bit_lcs_parallel(
+    a: Sequenceish,
+    b: Sequenceish,
+    machine,
+    *,
+    variant: Variant = "new2",
+    w: int = MAX_WIDTH,
+) -> int:
+    """Bit-parallel LCS with one parallel round per block-anti-diagonal."""
+    ca = to_binary(a) if isinstance(a, str) else encode(a)
+    cb = to_binary(b) if isinstance(b, str) else encode(b)
+    m, n = ca.size, cb.size
+    if m == 0 or n == 0:
+        return 0
+    a_words, a_valid, m_pad = pack_a_words(ca, w)
+    b_words, b_valid, n_pad = pack_b_words(cb, w)
+    ma, nb = a_words.size, b_words.size
+    h = np.full(ma, word_mask(w), dtype=WORD_DTYPE)
+    v = np.zeros(nb, dtype=WORD_DTYPE)
+    steps = _triangle_masks(w)
+    wmask = word_mask(w)
+    use_new2 = variant == "new2"
+    gather_each_step = variant == "old"
+    if use_new2:
+        a_words = (~a_words) & wmask
+
+    def chunk_thunk(ls, js):
+        def thunk():
+            hv = h[ls]
+            vv = v[js]
+            av = a_words[ls]
+            bv = b_words[js]
+            mh = a_valid[ls]
+            mv = b_valid[js]
+            for sh, upper, mask in steps:
+                if gather_each_step:
+                    hv = h[ls]
+                    vv = v[js]
+                shift = _U(sh)
+                if upper:
+                    hs = hv >> shift
+                    as_ = av >> shift
+                    mfull = mask & (mh >> shift) & mv
+                else:
+                    hs = (hv << shift) & wmask
+                    as_ = (av << shift) & wmask
+                    mfull = mask & ((mh << shift) & wmask) & mv
+                if use_new2:
+                    s = as_ ^ bv
+                    vv_old = vv
+                    vv = (hs | (~mfull & wmask)) & (vv | (s & mfull))
+                    patch = vv ^ vv_old
+                    hv = hv ^ (((patch << shift) & wmask) if upper else (patch >> shift))
+                else:
+                    s = (~(as_ ^ bv)) & wmask
+                    c = mfull & (s | ((~hs & wmask) & vv))
+                    vv_old = vv
+                    vv = ((~c & wmask) & vv) | (c & hs)
+                    if upper:
+                        cb_ = (c << shift) & wmask
+                        hv = ((~cb_ & wmask) & hv) | (cb_ & ((vv_old << shift) & wmask))
+                    else:
+                        cb_ = c >> shift
+                        hv = ((~cb_ & wmask) & hv) | (cb_ & (vv_old >> shift))
+                if gather_each_step:
+                    h[ls] = hv
+                    v[js] = vv
+            if not gather_each_step:
+                h[ls] = hv
+                v[js] = vv
+
+        return thunk
+
+    for d in range(ma + nb - 1):
+        i_lo = max(0, d - nb + 1)
+        i_hi = min(ma - 1, d)
+        blk_i = np.arange(i_lo, i_hi + 1)
+        ls_all = ma - 1 - blk_i
+        js_all = d - blk_i
+        # the blocks of one block-anti-diagonal are identical-cost
+        # independent items: submit them as a uniform round
+        machine.run_uniform_round([(chunk_thunk(ls_all, js_all), blk_i.size)])
+
+    return m_pad - popcount_words(h, w)

@@ -1,0 +1,28 @@
+"""Braid-combing algorithms for semi-local LCS.
+
+- :mod:`repro.core.combing.iterative` — Listing 1 / Listing 4 and variants,
+- :mod:`repro.core.combing.recursive` — Listing 3,
+- :mod:`repro.core.combing.hybrid` — Listings 6 and 7.
+
+All of them return the semi-local kernel permutation ``P_{a,b}``; wrap it
+in :class:`repro.core.kernel.SemiLocalKernel` for score queries.
+"""
+
+from .iterative import (
+    iterative_combing_rowmajor,
+    iterative_combing_antidiag,
+    iterative_combing_antidiag_simd,
+    iterative_combing_load_balanced,
+)
+from .recursive import recursive_combing
+from .hybrid import hybrid_combing, hybrid_combing_grid
+
+__all__ = [
+    "iterative_combing_rowmajor",
+    "iterative_combing_antidiag",
+    "iterative_combing_antidiag_simd",
+    "iterative_combing_load_balanced",
+    "recursive_combing",
+    "hybrid_combing",
+    "hybrid_combing_grid",
+]

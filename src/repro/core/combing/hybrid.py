@@ -1,0 +1,229 @@
+"""Hybrid combing (paper Listings 6 and 7).
+
+Two variants:
+
+- :func:`hybrid_combing` — Listing 6: recursive splitting of the longer
+  string down to a fixed *depth*, iterative (vectorized) combing below it,
+  kernel composition on the way up. Depth 0 is pure iterative combing;
+  each extra level doubles the number of independent sub-problems
+  available to coarse-grained parallelism (Fig. 6 studies this tradeoff).
+
+- :func:`hybrid_combing_grid` — Listing 7 ("semi_hybrid_iterative"):
+  the outer recursion is flattened into an ``m_outer x n_outer`` grid of
+  sub-blocks, each combed independently by iterative combing (with 16-bit
+  strand indices whenever a block's ``m + n <= 2^16``), followed by a
+  balanced reduction tree of compositions that always merges along the
+  sub-grid's longest side.
+
+Both return the same kernel as plain iterative combing (property-tested).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ...alphabet import encode
+from ...types import PermArray, Sequenceish
+from ..compose import compose_horizontal, compose_vertical
+from .iterative import iterative_combing_antidiag_simd
+
+
+def _leaf(ca, cb, blend, use_16bit):
+    return iterative_combing_antidiag_simd(
+        ca, cb, blend=blend, use_16bit_when_possible=use_16bit
+    )
+
+
+def _rec(ca, cb, depth, multiply, blend, use_16bit, on_leaf=None):
+    m, n = ca.size, cb.size
+    if depth <= 0 or m + n <= 2 or m == 0 or n == 0:
+        if on_leaf is not None:
+            on_leaf(m, n)
+        return _leaf(ca, cb, blend, use_16bit)
+    if m <= n:
+        half = n // 2
+        left = _rec(ca, cb[:half], depth - 1, multiply, blend, use_16bit, on_leaf)
+        right = _rec(ca, cb[half:], depth - 1, multiply, blend, use_16bit, on_leaf)
+        return compose_horizontal(left, right, m, half, n - half, multiply)
+    half = m // 2
+    top = _rec(ca[:half], cb, depth - 1, multiply, blend, use_16bit, on_leaf)
+    bottom = _rec(ca[half:], cb, depth - 1, multiply, blend, use_16bit, on_leaf)
+    return compose_vertical(top, bottom, half, m - half, n, multiply)
+
+
+def hybrid_combing(
+    a: Sequenceish,
+    b: Sequenceish,
+    depth: int = 2,
+    *,
+    multiply=None,
+    blend: str = "where",
+    use_16bit: bool = True,
+    on_leaf=None,
+) -> PermArray:
+    """Listing 6: recursive splitting to *depth*, then iterative combing.
+
+    ``on_leaf(m, n)`` is an optional callback invoked once per leaf
+    sub-problem — the benchmarks use it to account the work available for
+    coarse-grained parallelism.
+    """
+    if multiply is None:
+        from ..steady_ant import steady_ant_multiply as multiply
+    return _rec(encode(a), encode(b), depth, multiply, blend, use_16bit, on_leaf)
+
+
+# ---------------------------------------------------------------------------
+# Listing 7: flattened grid + balanced reduction
+# ---------------------------------------------------------------------------
+
+
+def optimal_split(m: int, n: int, n_tasks: int, *, strand_limit: int | None = None) -> tuple[int, int]:
+    """Choose the sub-grid factorization ``(m_outer, n_outer)``.
+
+    Aims for at least *n_tasks* sub-blocks, splitting the longer side
+    more, and keeping every block's ``m_i + n_j`` under *strand_limit*
+    when given (the 16-bit constraint of §4.3).
+    """
+    m_outer, n_outer = 1, 1
+    while m_outer * n_outer < max(1, n_tasks):
+        # grow the dimension whose blocks are currently longer
+        if m / m_outer >= n / n_outer and m_outer < m:
+            m_outer += 1
+        elif n_outer < n:
+            n_outer += 1
+        elif m_outer < m:
+            m_outer += 1
+        else:
+            break
+    if strand_limit is not None:
+        while m_outer < m and math.ceil(m / m_outer) + math.ceil(n / n_outer) > strand_limit:
+            if math.ceil(m / m_outer) >= math.ceil(n / n_outer):
+                m_outer += 1
+            else:
+                n_outer += 1
+        while n_outer < n and math.ceil(m / m_outer) + math.ceil(n / n_outer) > strand_limit:
+            n_outer += 1
+    return m_outer, n_outer
+
+
+def _split_lengths(total: int, parts: int) -> list[int]:
+    """Nearly equal part lengths, never zero (parts clamped to total)."""
+    parts = max(1, min(parts, total)) if total else 1
+    base = total // parts
+    extra = total % parts
+    return [base + (1 if k < extra else 0) for k in range(parts)]
+
+
+def hybrid_combing_grid(
+    a: Sequenceish,
+    b: Sequenceish,
+    n_tasks: int = 8,
+    *,
+    multiply=None,
+    blend: str = "where",
+    use_16bit: bool = True,
+    strand_limit: int | None = None,
+    reduction: str = "longest-side",
+    on_leaf=None,
+    on_compose=None,
+) -> PermArray:
+    """Listing 7: grid decomposition + balanced reduction tree.
+
+    ``reduction`` selects the compose-order heuristic the paper's §4.3
+    discusses: ``"longest-side"`` (the paper's choice — always merge
+    along the sub-grid's longest axis, keeping block shapes balanced),
+    ``"rows-first"`` (merge all row pairs before any columns) or
+    ``"cols-first"``. All orders produce the same kernel; the order only
+    affects the cost of the log-linear compositions (ablated in
+    ``benchmarks/bench_ext_ablations.py``).
+
+    ``on_leaf(m, n)`` / ``on_compose(order)`` are accounting callbacks for
+    the parallel cost model (each reduction round's compositions are
+    mutually independent, as are all leaf combings).
+    """
+    if reduction not in ("longest-side", "rows-first", "cols-first"):
+        raise ValueError(f"unknown reduction heuristic {reduction!r}")
+    ca, cb = encode(a), encode(b)
+    m, n = ca.size, cb.size
+    if m == 0 or n == 0:
+        return np.arange(m + n, dtype=np.int64)
+    if multiply is None:
+        from ..steady_ant import steady_ant_multiply as multiply
+
+    m_outer, n_outer = optimal_split(m, n, n_tasks, strand_limit=strand_limit)
+    a_lens = _split_lengths(m, m_outer)
+    b_lens = _split_lengths(n, n_outer)
+    m_outer, n_outer = len(a_lens), len(b_lens)
+    a_offs = np.concatenate([[0], np.cumsum(a_lens)])
+    b_offs = np.concatenate([[0], np.cumsum(b_lens)])
+
+    # comb every sub-block independently (the parallel taskloop)
+    grid = [
+        [
+            _leaf(ca[a_offs[i] : a_offs[i + 1]], cb[b_offs[j] : b_offs[j + 1]], blend, use_16bit)
+            for j in range(n_outer)
+        ]
+        for i in range(m_outer)
+    ]
+    if on_leaf is not None:
+        for i in range(m_outer):
+            for j in range(n_outer):
+                on_leaf(a_lens[i], b_lens[j])
+
+    # balanced reduction: merge along the blocks' longest side (default)
+    while m_outer > 1 or n_outer > 1:
+        if n_outer == 1:
+            row_reduction = False
+        elif m_outer == 1:
+            row_reduction = True
+        elif reduction == "rows-first":
+            row_reduction = True  # exhaust horizontal merges first
+        elif reduction == "cols-first":
+            row_reduction = False
+        else:
+            # blocks taller than wide -> merge horizontally (row reduction)
+            row_reduction = (m / m_outer) >= (n / n_outer)
+        if row_reduction:
+            new_b_lens = []
+            for i in range(m_outer):
+                new_row = []
+                for j in range(0, n_outer - 1, 2):
+                    merged = compose_horizontal(
+                        grid[i][j], grid[i][j + 1], a_lens[i], b_lens[j], b_lens[j + 1], multiply
+                    )
+                    if on_compose is not None:
+                        on_compose(a_lens[i] + b_lens[j] + b_lens[j + 1])
+                    new_row.append(merged)
+                if n_outer % 2:
+                    new_row.append(grid[i][n_outer - 1])
+                grid[i] = new_row
+            for j in range(0, n_outer - 1, 2):
+                new_b_lens.append(b_lens[j] + b_lens[j + 1])
+            if n_outer % 2:
+                new_b_lens.append(b_lens[n_outer - 1])
+            b_lens = new_b_lens
+            n_outer = len(b_lens)
+        else:
+            new_a_lens = []
+            new_grid = []
+            for i in range(0, m_outer - 1, 2):
+                new_row = []
+                for j in range(n_outer):
+                    merged = compose_vertical(
+                        grid[i][j], grid[i + 1][j], a_lens[i], a_lens[i + 1], b_lens[j], multiply
+                    )
+                    if on_compose is not None:
+                        on_compose(a_lens[i] + a_lens[i + 1] + b_lens[j])
+                    new_row.append(merged)
+                new_grid.append(new_row)
+                new_a_lens.append(a_lens[i] + a_lens[i + 1])
+            if m_outer % 2:
+                new_grid.append(grid[m_outer - 1])
+                new_a_lens.append(a_lens[m_outer - 1])
+            grid = new_grid
+            a_lens = new_a_lens
+            m_outer = len(a_lens)
+
+    return grid[0][0]

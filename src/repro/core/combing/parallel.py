@@ -1,0 +1,293 @@
+"""Machine-parameterized parallel combing (paper Listings 4, 6, 7).
+
+Every function takes a :class:`repro.parallel.api.Machine`; results are
+bit-identical to the sequential algorithms, while the machine accounts
+the parallel cost (see :mod:`repro.parallel` for the available machines
+and why the simulator is the default for thread-scaling figures).
+
+- :func:`parallel_iterative_combing` — Listing 4: anti-diagonal
+  wavefront; each anti-diagonal is split into ``workers`` chunks and runs
+  as one round (one barrier per anti-diagonal).
+- :func:`parallel_load_balanced_combing` — the Fig. 2 variant: phases 1
+  and 3 are combed concurrently with matched anti-diagonals so every
+  round processes exactly ``m`` cells, then the three phase braids are
+  recombined by braid multiplication.
+- :func:`parallel_hybrid_combing_grid` — Listing 7: one round combs all
+  sub-blocks, then each reduction level of compositions is a round.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...alphabet import encode
+from ...types import PermArray, Sequenceish
+from ..compose import compose_horizontal, compose_vertical
+from .hybrid import _split_lengths, optimal_split
+from .iterative import (
+    _BLENDS,
+    _antidiag_ranges,
+    _extract_kernel,
+    _flip_kernel,
+    cut_positions,
+    iterative_combing_antidiag_simd,
+)
+
+
+def _chunks(length: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``[0, length)`` into up to *workers* contiguous chunks."""
+    workers = max(1, min(workers, length))
+    base = length // workers
+    extra = length % workers
+    out = []
+    start = 0
+    for k in range(workers):
+        size = base + (1 if k < extra else 0)
+        if size:
+            out.append((start, start + size))
+        start += size
+    return out
+
+
+def _make_chunk_thunk(a_rev, cb, h_strands, v_strands, h_lo, v_lo, lo, hi, select):
+    def thunk():
+        h_sl = slice(h_lo + lo, h_lo + hi)
+        v_sl = slice(v_lo + lo, v_lo + hi)
+        h = h_strands[h_sl]
+        v = v_strands[v_sl]
+        p = (a_rev[h_sl] == cb[v_sl]) | (h > v)
+        new_h, new_v = select(h, v, p)
+        h_strands[h_sl] = new_h
+        v_strands[v_sl] = new_v
+
+    return thunk
+
+
+def parallel_iterative_combing(
+    a: Sequenceish,
+    b: Sequenceish,
+    machine,
+    *,
+    blend: str = "where",
+) -> PermArray:
+    """Listing 4: wavefront combing, one synchronized round per
+    anti-diagonal.
+
+    The cells of an anti-diagonal are identical-cost independent items,
+    so each round is submitted as a *uniform round* (one vectorized batch
+    whose cost the machine divides across its workers); see
+    :meth:`repro.parallel.api.Machine.run_uniform_round`.
+    """
+    ca, cb = encode(a), encode(b)
+    if ca.size > cb.size:
+        return _flip_kernel(
+            parallel_iterative_combing(cb, ca, machine, blend=blend), cb.size, ca.size
+        )
+    m, n = ca.size, cb.size
+    if m == 0 or n == 0:
+        return np.arange(m + n, dtype=np.int64)
+    select = _BLENDS[blend]
+    a_rev = np.ascontiguousarray(ca[::-1])
+    h_strands = np.arange(m, dtype=np.int64)
+    v_strands = np.arange(m, m + n, dtype=np.int64)
+    for length, h_lo, v_lo in _antidiag_ranges(m, n):
+        thunk = _make_chunk_thunk(
+            a_rev, cb, h_strands, v_strands, h_lo, v_lo, 0, length, select
+        )
+        machine.run_uniform_round([(thunk, length)])
+    return _extract_kernel(h_strands, v_strands)
+
+
+def parallel_load_balanced_combing(
+    a: Sequenceish,
+    b: Sequenceish,
+    machine,
+    *,
+    blend: str = "where",
+    multiply=None,
+) -> PermArray:
+    """Fig. 2: phases 1 and 3 combed concurrently with balanced rounds.
+
+    Round ``k`` pairs anti-diagonal ``k`` of the growing phase with
+    anti-diagonal ``k`` of the shrinking phase (total exactly ``m`` cells)
+    and splits the union into ``workers`` chunks; the middle phase runs
+    its full-length anti-diagonals as ordinary rounds. The three phase
+    braids are then composed by braid multiplication (serial sections).
+    """
+    ca, cb = encode(a), encode(b)
+    if ca.size > cb.size:
+        return _flip_kernel(
+            parallel_load_balanced_combing(cb, ca, machine, blend=blend, multiply=multiply),
+            cb.size,
+            ca.size,
+        )
+    m, n = ca.size, cb.size
+    if m == 0 or n == 0:
+        return np.arange(m + n, dtype=np.int64)
+    if multiply is None:
+        from ..steady_ant import steady_ant_multiply as multiply
+    select = _BLENDS[blend]
+    a_rev = np.ascontiguousarray(ca[::-1])
+
+    cuts = [0, max(0, m - 1), n, m + n - 1]
+
+    # phase 1 and phase 3 strand states (independent sub-braids,
+    # labelled by entry-cut positions: see _region_braid_positions)
+    states = {}
+    for phase, (d_lo, d_hi) in enumerate(zip(cuts, cuts[1:]), start=1):
+        h_in, v_in = cut_positions(d_lo, m, n)
+        states[phase] = (h_in.copy(), v_in.copy(), d_lo, d_hi)
+
+    def diag_slices(d):
+        i_lo = max(0, d - n + 1)
+        i_hi = min(m - 1, d)
+        return i_hi - i_lo + 1, m - 1 - i_hi, d - i_hi
+
+    def phase_task(phase, d):
+        h_strands, v_strands, d_lo, d_hi = states[phase]
+        if not (d_lo <= d < d_hi):
+            return None
+        length, h_lo, v_lo = diag_slices(d)
+        thunk = _make_chunk_thunk(
+            a_rev, cb, h_strands, v_strands, h_lo, v_lo, 0, length, select
+        )
+        return thunk, length
+
+    # joint rounds for phases 1 and 3 (balanced: the k-th growing and the
+    # k-th shrinking anti-diagonal together process exactly m cells)
+    p1_len = cuts[1] - cuts[0]
+    p3_len = cuts[3] - cuts[2]
+    for k in range(max(p1_len, p3_len)):
+        tasks = []
+        if k < p1_len:
+            tasks.append(phase_task(1, cuts[0] + k))
+        if k < p3_len:
+            tasks.append(phase_task(3, cuts[2] + k))
+        tasks = [t for t in tasks if t is not None]
+        if tasks:
+            machine.run_uniform_round(tasks)
+    # middle phase: full-length anti-diagonals
+    for d in range(cuts[1], cuts[2]):
+        task = phase_task(2, d)
+        if task is not None:
+            machine.run_uniform_round([task])
+
+    # convert each phase state to cut coordinates and compose
+    braids = []
+    for phase, (d_lo, d_hi) in enumerate(zip(cuts, cuts[1:]), start=1):
+        if d_hi <= d_lo:
+            continue
+        h_strands, v_strands, _, _ = states[phase]
+        h_out, v_out = cut_positions(d_hi, m, n)
+        perm = np.empty(m + n, dtype=np.int64)
+        perm[h_strands] = h_out
+        perm[v_strands] = v_out
+        braids.append(perm)
+    result = braids[0]
+    for nxt in braids[1:]:
+        result = machine.run_serial(lambda r=result, x=nxt: multiply(r, x))
+    return result
+
+
+def parallel_hybrid_combing_grid(
+    a: Sequenceish,
+    b: Sequenceish,
+    machine,
+    *,
+    n_tasks: int | None = None,
+    blend: str = "where",
+    use_16bit: bool = True,
+    multiply=None,
+    strand_limit: int | None = None,
+) -> PermArray:
+    """Listing 7 with explicit parallel rounds.
+
+    Round 0 combs all ``m_outer x n_outer`` sub-blocks; each reduction
+    level of compositions (always along the blocks' longest side) is one
+    further round. ``n_tasks`` defaults to ``2 * machine.workers`` so the
+    dynamic schedule has slack to balance.
+    """
+    ca, cb = encode(a), encode(b)
+    m, n = ca.size, cb.size
+    if m == 0 or n == 0:
+        return np.arange(m + n, dtype=np.int64)
+    if multiply is None:
+        from ..steady_ant import steady_ant_multiply as multiply
+    if n_tasks is None:
+        n_tasks = max(1, 2 * machine.workers)
+
+    m_outer, n_outer = optimal_split(m, n, n_tasks, strand_limit=strand_limit)
+    a_lens = _split_lengths(m, m_outer)
+    b_lens = _split_lengths(n, n_outer)
+    m_outer, n_outer = len(a_lens), len(b_lens)
+    a_offs = np.concatenate([[0], np.cumsum(a_lens)])
+    b_offs = np.concatenate([[0], np.cumsum(b_lens)])
+
+    def leaf_thunk(i, j):
+        def thunk():
+            return iterative_combing_antidiag_simd(
+                ca[a_offs[i] : a_offs[i + 1]],
+                cb[b_offs[j] : b_offs[j + 1]],
+                blend=blend,
+                use_16bit_when_possible=use_16bit,
+            )
+
+        return thunk
+
+    flat = machine.run_round(
+        [leaf_thunk(i, j) for i in range(m_outer) for j in range(n_outer)]
+    )
+    grid = [[flat[i * n_outer + j] for j in range(n_outer)] for i in range(m_outer)]
+
+    while m_outer > 1 or n_outer > 1:
+        if n_outer == 1:
+            row_reduction = False
+        elif m_outer == 1:
+            row_reduction = True
+        else:
+            row_reduction = (m / m_outer) >= (n / n_outer)
+        thunks = []
+        placements = []
+        if row_reduction:
+            for i in range(m_outer):
+                for jj, j in enumerate(range(0, n_outer - 1, 2)):
+                    thunks.append(
+                        lambda i=i, j=j: compose_horizontal(
+                            grid[i][j], grid[i][j + 1], a_lens[i], b_lens[j], b_lens[j + 1], multiply
+                        )
+                    )
+                    placements.append((i, jj))
+            results = machine.run_round(thunks)
+            new_n = (n_outer + 1) // 2
+            new_grid = [[None] * new_n for _ in range(m_outer)]
+            for (i, jj), res in zip(placements, results):
+                new_grid[i][jj] = res
+            if n_outer % 2:
+                for i in range(m_outer):
+                    new_grid[i][new_n - 1] = grid[i][n_outer - 1]
+            new_b_lens = [
+                b_lens[j] + b_lens[j + 1] for j in range(0, n_outer - 1, 2)
+            ] + ([b_lens[-1]] if n_outer % 2 else [])
+            grid, b_lens, n_outer = new_grid, new_b_lens, new_n
+        else:
+            for ii, i in enumerate(range(0, m_outer - 1, 2)):
+                for j in range(n_outer):
+                    thunks.append(
+                        lambda i=i, j=j: compose_vertical(
+                            grid[i][j], grid[i + 1][j], a_lens[i], a_lens[i + 1], b_lens[j], multiply
+                        )
+                    )
+                    placements.append((ii, j))
+            results = machine.run_round(thunks)
+            new_m = (m_outer + 1) // 2
+            new_grid = [[None] * n_outer for _ in range(new_m)]
+            for (ii, j), res in zip(placements, results):
+                new_grid[ii][j] = res
+            if m_outer % 2:
+                new_grid[new_m - 1] = grid[m_outer - 1]
+            new_a_lens = [
+                a_lens[i] + a_lens[i + 1] for i in range(0, m_outer - 1, 2)
+            ] + ([a_lens[-1]] if m_outer % 2 else [])
+            grid, a_lens, m_outer = new_grid, new_a_lens, new_m
+
+    return grid[0][0]

@@ -1,0 +1,140 @@
+"""Distribution matrices of permutations and (min,+) products.
+
+Following Tiskin's convention, the *distribution matrix* of an ``n x n``
+permutation matrix ``P`` is the ``(n+1) x (n+1)`` matrix of lower-left
+dominance sums::
+
+    P_sigma(i, j) = #{ (r, c) nonzero in P : r >= i, c < j }
+
+Distribution matrices of permutations are exactly the *simple unit-Monge*
+matrices. Their (min,+) matrix product corresponds to sticky-braid
+(Demazure) multiplication of the underlying permutations: the product of
+two unit-Monge distribution matrices is again unit-Monge, hence encodes a
+permutation. This module provides the explicit-matrix reference
+implementation used to validate the O(n log n) steady-ant algorithm
+(:mod:`repro.core.steady_ant`), plus Monge-property checkers.
+
+Everything here is O(n^2) memory or worse — reference and test code, not
+the production path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import InvalidPermutationError, ShapeMismatchError
+from ..types import PermArray
+
+
+def distribution_matrix(rows_to_cols: PermArray) -> np.ndarray:
+    """Dense distribution matrix ``P_sigma`` of a permutation.
+
+    ``out[i, j] = #{ r >= i : rows_to_cols[r] < j }`` with shape
+    ``(n+1, n+1)``. Computed by a reverse cumulative sum over rows of the
+    indicator matrix, vectorized.
+    """
+    p = np.asarray(rows_to_cols, dtype=np.int64)
+    n = p.size
+    out = np.zeros((n + 1, n + 1), dtype=np.int64)
+    if n == 0:
+        return out
+    # indicator[i, j] = 1 iff p[i] < j  (row i contributes to cols > p[i])
+    indicator = (p[:, None] < np.arange(n + 1)[None, :]).astype(np.int64)
+    # suffix sum over rows: out[i] = sum of indicator rows i..n-1
+    out[:n] = indicator[::-1].cumsum(axis=0)[::-1]
+    return out
+
+
+def permutation_from_distribution(dist: np.ndarray) -> PermArray:
+    """Recover the permutation from its distribution matrix.
+
+    The nonzero in cell ``(r, c)`` exists iff the second mixed difference
+    ``dist[r, c+1] - dist[r+1, c+1] - dist[r, c] + dist[r+1, c]`` equals 1.
+    Raises :class:`InvalidPermutationError` if *dist* is not the
+    distribution matrix of a permutation.
+    """
+    dist = np.asarray(dist)
+    n = dist.shape[0] - 1
+    if dist.shape != (n + 1, n + 1):
+        raise ShapeMismatchError(f"distribution matrix must be square, got {dist.shape}")
+    diff = dist[:-1, 1:] - dist[1:, 1:] - dist[:-1, :-1] + dist[1:, :-1]
+    rows, cols = np.nonzero(diff)
+    if not ((diff == 0) | (diff == 1)).all() or rows.size != n:
+        raise InvalidPermutationError("matrix is not unit-Monge (mixed differences not 0/1)")
+    out = np.full(n, -1, dtype=np.int64)
+    out[rows] = cols
+    if n and (out == -1).any():
+        raise InvalidPermutationError("some row has no nonzero")
+    return out
+
+
+def minplus_multiply(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense (min,+) matrix product ``c[i,k] = min_j a[i,j] + b[j,k]``.
+
+    O(n^3) time, O(n^2) extra memory per output row batch. Reference only.
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape[1] != b.shape[0]:
+        raise ShapeMismatchError(f"inner dimensions differ: {a.shape} vs {b.shape}")
+    out = np.empty((a.shape[0], b.shape[1]), dtype=np.result_type(a, b))
+    # Process by rows to bound the temporary to n^2.
+    for i in range(a.shape[0]):
+        out[i] = (a[i][:, None] + b).min(axis=0)
+    return out
+
+
+def sticky_multiply_dense(p: PermArray, q: PermArray) -> PermArray:
+    """Sticky (Demazure) product of two permutations via explicit
+    distribution matrices and a dense (min,+) product.
+
+    O(n^3); the ground truth the steady-ant implementations are tested
+    against.
+    """
+    p = np.asarray(p)
+    q = np.asarray(q)
+    if p.size != q.size:
+        raise ShapeMismatchError(f"orders differ: {p.size} vs {q.size}")
+    dist = minplus_multiply(distribution_matrix(p), distribution_matrix(q))
+    return permutation_from_distribution(dist)
+
+
+def is_monge(mat: np.ndarray) -> bool:
+    """Check the Monge condition ``m[i,j] + m[i+1,j+1] <= m[i+1,j] + m[i,j+1]``
+    for all adjacent 2x2 submatrices."""
+    m = np.asarray(mat)
+    if m.ndim != 2 or m.shape[0] < 2 or m.shape[1] < 2:
+        return True
+    lhs = m[:-1, :-1] + m[1:, 1:]
+    rhs = m[1:, :-1] + m[:-1, 1:]
+    return bool((lhs <= rhs).all())
+
+
+def is_unit_monge_distribution(dist: np.ndarray) -> bool:
+    """True iff *dist* is the distribution matrix of some permutation."""
+    try:
+        permutation_from_distribution(dist)
+    except (InvalidPermutationError, ShapeMismatchError):
+        return False
+    dist = np.asarray(dist)
+    n = dist.shape[0] - 1
+    if dist[n, 0] != 0 or dist[0, n] != n:
+        return False
+    if (dist[n, :] != 0).any() or (dist[:, 0] != 0).any():
+        return False
+    return True
+
+
+def dominance_count(rows_to_cols: PermArray, i: int, j: int) -> int:
+    """``#{ (r, c) nonzero : r >= i, c < j }`` computed directly in O(n).
+
+    Only for testing and tiny inputs; the production query path uses
+    :class:`repro.core.dominance.DominanceCounter`.
+    """
+    p = np.asarray(rows_to_cols)
+    n = p.size
+    i = max(0, min(i, n))
+    j = max(0, min(j, n))
+    if i >= n or j <= 0:
+        return 0
+    return int((p[i:] < j).sum())

@@ -1,0 +1,179 @@
+"""Permutation matrices stored in compressed row form.
+
+A permutation matrix of order ``n`` (Definition 3.1 of the paper) has
+exactly one nonzero in every row and column. We store it as a single int64
+array ``rows_to_cols`` where ``rows_to_cols[i]`` is the column of the
+nonzero in row ``i``. This is the representation used throughout the
+combing and steady-ant algorithms; the paper notes (footnote 7) that a
+permutation matrix of size N is representable as two lists of size N —
+we materialize the column→row view lazily.
+
+Semi-local LCS kernels are permutations under the hood; the
+:class:`~repro.core.kernel.SemiLocalKernel` wrapper adds score queries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import InvalidPermutationError, ShapeMismatchError
+from ..types import PermArray
+
+
+def validate_permutation(rows_to_cols: PermArray) -> None:
+    """Raise :class:`InvalidPermutationError` unless the array encodes a
+    permutation of ``[0, n)``."""
+    arr = np.asarray(rows_to_cols)
+    if arr.ndim != 1:
+        raise InvalidPermutationError(f"expected 1-D array, got shape {arr.shape}")
+    n = arr.size
+    if n == 0:
+        return
+    seen = np.zeros(n, dtype=bool)
+    if arr.min() < 0 or arr.max() >= n:
+        raise InvalidPermutationError("column index out of range")
+    seen[arr] = True
+    if not seen.all():
+        raise InvalidPermutationError("duplicate column index: not a bijection")
+
+
+class Permutation:
+    """Immutable permutation matrix in compressed row form.
+
+    >>> p = Permutation([2, 0, 1])
+    >>> p(0)            # column of the nonzero in row 0
+    2
+    >>> p.inverse()(2)  # row of the nonzero in column 2
+    0
+    """
+
+    __slots__ = ("_rows_to_cols", "_cols_to_rows")
+
+    def __init__(self, rows_to_cols: Iterable[int] | PermArray, *, validate: bool = True):
+        arr = np.ascontiguousarray(rows_to_cols, dtype=np.int64)
+        if validate:
+            validate_permutation(arr)
+        arr.setflags(write=False)
+        self._rows_to_cols = arr
+        self._cols_to_rows: PermArray | None = None
+
+    # -- construction -------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "Permutation":
+        """The identity permutation of order *n* (the identity braid)."""
+        return cls(np.arange(n, dtype=np.int64), validate=False)
+
+    @classmethod
+    def reverse(cls, n: int) -> "Permutation":
+        """The order-reversing permutation (the "zero kernel" pattern)."""
+        return cls(np.arange(n - 1, -1, -1, dtype=np.int64), validate=False)
+
+    @classmethod
+    def from_nonzeros(cls, nonzeros: Iterable[tuple[int, int]], n: int) -> "Permutation":
+        """Build from an iterable of ``(row, col)`` nonzero positions."""
+        arr = np.full(n, -1, dtype=np.int64)
+        for r, c in nonzeros:
+            if arr[r] != -1:
+                raise InvalidPermutationError(f"two nonzeros in row {r}")
+            arr[r] = c
+        if (arr == -1).any():
+            raise InvalidPermutationError("some row has no nonzero")
+        return cls(arr)
+
+    # -- accessors ----------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Order of the permutation matrix."""
+        return self._rows_to_cols.size
+
+    @property
+    def rows_to_cols(self) -> PermArray:
+        """Read-only array: ``rows_to_cols[i]`` = column of nonzero in row i."""
+        return self._rows_to_cols
+
+    @property
+    def cols_to_rows(self) -> PermArray:
+        """Read-only array: ``cols_to_rows[j]`` = row of nonzero in column j."""
+        if self._cols_to_rows is None:
+            inv = np.empty(self.n, dtype=np.int64)
+            inv[self._rows_to_cols] = np.arange(self.n, dtype=np.int64)
+            inv.setflags(write=False)
+            self._cols_to_rows = inv
+        return self._cols_to_rows
+
+    def __call__(self, row: int) -> int:
+        return int(self._rows_to_cols[row])
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._rows_to_cols.tolist())
+
+    def nonzeros(self) -> list[tuple[int, int]]:
+        """All ``(row, col)`` nonzero positions, in row order."""
+        return [(i, int(c)) for i, c in enumerate(self._rows_to_cols)]
+
+    # -- algebra ------------------------------------------------------
+
+    def inverse(self) -> "Permutation":
+        """Matrix transpose = functional inverse."""
+        return Permutation(self.cols_to_rows, validate=False)
+
+    def compose_plain(self, other: "Permutation") -> "Permutation":
+        """Plain (non-sticky) permutation product: ``self`` then ``other``.
+
+        ``(self ∘ other)(i) = other(self(i))`` in row form — the matrix
+        product of the two permutation matrices. This is *not* braid
+        multiplication; see :mod:`repro.core.steady_ant` for that.
+        """
+        if self.n != other.n:
+            raise ShapeMismatchError(f"orders differ: {self.n} vs {other.n}")
+        return Permutation(other._rows_to_cols[self._rows_to_cols], validate=False)
+
+    def rotate180(self) -> "Permutation":
+        """Rotate the matrix by 180°: nonzero (i, j) → (n-1-i, n-1-j).
+
+        Used by the flip identity (Theorem 3.5) for kernels.
+        """
+        n = self.n
+        out = (n - 1 - self._rows_to_cols)[::-1].copy()
+        return Permutation(out, validate=False)
+
+    def to_dense(self) -> np.ndarray:
+        """Explicit 0/1 matrix (for tests and tiny examples only)."""
+        m = np.zeros((self.n, self.n), dtype=np.int8)
+        m[np.arange(self.n), self._rows_to_cols] = 1
+        return m
+
+    # -- dunder plumbing ----------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Permutation):
+            return NotImplemented
+        return self.n == other.n and bool(
+            np.array_equal(self._rows_to_cols, other._rows_to_cols)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._rows_to_cols.tobytes())
+
+    def __repr__(self) -> str:
+        body = ", ".join(map(str, self._rows_to_cols[:8].tolist()))
+        if self.n > 8:
+            body += ", ..."
+        return f"Permutation([{body}], n={self.n})"
+
+
+def identity_permutation(n: int) -> PermArray:
+    """Raw-array identity, for internal hot paths."""
+    return np.arange(n, dtype=np.int64)
+
+
+def random_permutation(rng: np.random.Generator, n: int) -> Permutation:
+    """Uniformly random permutation (used by braid-mult benchmarks)."""
+    return Permutation(rng.permutation(n).astype(np.int64), validate=False)

@@ -1,0 +1,84 @@
+"""Steady ant with both optimizations ("combined"): precalc base case +
+arena-managed memory. This is the library's default braid multiplication
+(:data:`repro.core.steady_ant.steady_ant_multiply`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...errors import ShapeMismatchError
+from ...types import PermArray
+from ._core import combine
+from .memory import Arena, arena_capacity_for
+from .precalc import DEFAULT_MAX_ORDER, PrecalcTable, get_precalc_table
+
+
+def _multiply(p: np.ndarray, q: np.ndarray, arena: Arena, table: PrecalcTable) -> np.ndarray:
+    n = p.size
+    if n <= table.max_order:
+        out = arena.alloc(n)
+        out[:] = table.multiply(p, q)
+        return out
+    h = n // 2
+    mark = arena.mark()
+
+    mask = p < h
+    rows_lo = arena.alloc(h)
+    rows_hi = arena.alloc(n - h)
+    rows_lo[:] = np.flatnonzero(mask)
+    rows_hi[:] = np.flatnonzero(~mask)
+    p_lo = arena.alloc(h)
+    p_hi = arena.alloc(n - h)
+    np.take(p, rows_lo, out=p_lo)
+    np.take(p, rows_hi, out=p_hi)
+    p_hi -= h
+
+    cols_lo = arena.alloc(h)
+    cols_hi = arena.alloc(n - h)
+    cols_lo[:] = q[:h]
+    cols_hi[:] = q[h:]
+    cols_lo.sort()
+    cols_hi.sort()
+    q_lo = arena.alloc(h)
+    q_hi = arena.alloc(n - h)
+    q_lo[:] = np.searchsorted(cols_lo, q[:h])
+    q_hi[:] = np.searchsorted(cols_hi, q[h:])
+
+    r_lo_small = _multiply(p_lo, q_lo, arena, table)
+    lo_cols_full = arena.alloc(h)
+    np.take(cols_lo, r_lo_small, out=lo_cols_full)
+    r_hi_small = _multiply(p_hi, q_hi, arena, table)
+    hi_cols_full = arena.alloc(n - h)
+    np.take(cols_hi, r_hi_small, out=hi_cols_full)
+
+    result = combine(rows_lo, lo_cols_full, rows_hi, hi_cols_full, n)
+
+    arena.release(mark)
+    out = arena.alloc(n)
+    out[:] = result
+    return out
+
+
+def steady_ant_combined(
+    p: PermArray,
+    q: PermArray,
+    *,
+    arena: Arena | None = None,
+    max_order: int = DEFAULT_MAX_ORDER,
+) -> PermArray:
+    """Sticky product ``p ⊙ q`` with precalc + memory optimizations."""
+    p = np.ascontiguousarray(p, dtype=np.int64)
+    q = np.ascontiguousarray(q, dtype=np.int64)
+    n = p.size
+    if n != q.size:
+        raise ShapeMismatchError(f"orders differ: {n} vs {q.size}")
+    if n == 0:
+        return p.copy()
+    if arena is None:
+        arena = Arena(arena_capacity_for(n))
+    table = get_precalc_table(max_order)
+    mark = arena.mark()
+    result = _multiply(p, q, arena, table).copy()
+    arena.release(mark)
+    return result

@@ -1,0 +1,61 @@
+"""Reference implementations of sticky braid multiplication.
+
+- :func:`sticky_multiply_dense` — O(n^3) explicit (min,+) product of
+  distribution matrices (re-exported from :mod:`repro.core.dist_matrix`).
+- :func:`sticky_multiply_quadratic` — O(n^2) *carpet-min* reference: one
+  divide step with explicit, vectorized evaluation of the two candidate
+  distribution carpets and of their minimum, followed by finite
+  differencing. This exercises exactly the min-of-two-carpets identity
+  the ant walk relies on, so it doubles as a diagnostic oracle for the
+  O(n)-combine step while being fast enough for mid-size property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..dist_matrix import (
+    distribution_matrix,
+    permutation_from_distribution,
+    sticky_multiply_dense,
+)
+from ...errors import ShapeMismatchError
+from ...types import PermArray
+from ._core import split_p, split_q
+
+__all__ = ["sticky_multiply_dense", "sticky_multiply_quadratic"]
+
+
+def _subperm_distribution(rows: np.ndarray, cols: np.ndarray, n: int) -> np.ndarray:
+    """Distribution matrix of a sub-permutation given as nonzero lists."""
+    out = np.zeros((n + 1, n + 1), dtype=np.int64)
+    if rows.size:
+        indicator = np.zeros((n, n + 1), dtype=np.int64)
+        indicator[rows] = cols[:, None] < np.arange(n + 1)[None, :]
+        out[:n] = indicator[::-1].cumsum(axis=0)[::-1]
+    return out
+
+
+def sticky_multiply_quadratic(p: PermArray, q: PermArray) -> PermArray:
+    """One explicit divide step + dense min-of-carpets combine (O(n^2))."""
+    p = np.asarray(p, dtype=np.int64)
+    q = np.asarray(q, dtype=np.int64)
+    n = p.size
+    if q.size != n:
+        raise ShapeMismatchError(f"orders differ: {n} vs {q.size}")
+    if n <= 1:
+        return p.copy()
+    h = n // 2
+    p_lo, rows_lo, p_hi, rows_hi = split_p(p, h)
+    q_lo, cols_lo, q_hi, cols_hi = split_q(q, h)
+    r_lo_small = sticky_multiply_dense(p_lo, q_lo)
+    r_hi_small = sticky_multiply_dense(p_hi, q_hi)
+    lo_cols_full = cols_lo[r_lo_small]
+    hi_cols_full = cols_hi[r_hi_small]
+    d_lo = _subperm_distribution(rows_lo, lo_cols_full, n)
+    d_hi = _subperm_distribution(rows_hi, hi_cols_full, n)
+    # d_lo(i,k) + beta(k) vs d_hi(i,k) + alpha(i)
+    beta = d_hi[0, :][None, :]  # #{R_hi: col < k}
+    alpha = d_lo[:, n][:, None]  # #{R_lo: row >= i}
+    r_sigma = np.minimum(d_lo + beta, d_hi + alpha)
+    return permutation_from_distribution(r_sigma)

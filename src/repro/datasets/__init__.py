@@ -1,0 +1,30 @@
+"""Input generators mirroring the paper's two evaluation datasets.
+
+- :mod:`repro.datasets.synthetic` — random integer sequences with
+  characters sampled from a rounded normal distribution (σ controls
+  match frequency), plus uniform binary strings for the bit-parallel
+  experiments;
+- :mod:`repro.datasets.genomes` — a deterministic virus-genome simulator
+  substituting for the paper's NCBI dataset (no network access here):
+  an ancestral random genome is evolved along a small phylogeny by point
+  mutations, indels and recombination, producing related sequences with
+  realistic similarity structure at paper-scale lengths (up to ~134 kb);
+- :mod:`repro.datasets.fasta` — minimal FASTA I/O so real genomes can be
+  dropped in.
+"""
+
+from .synthetic import synthetic_pair, synthetic_string, binary_pair, binary_string
+from .genomes import GenomeSimulator, virus_pair, VIRUS_PRESETS
+from .fasta import read_fasta, write_fasta
+
+__all__ = [
+    "synthetic_pair",
+    "synthetic_string",
+    "binary_pair",
+    "binary_string",
+    "GenomeSimulator",
+    "virus_pair",
+    "VIRUS_PRESETS",
+    "read_fasta",
+    "write_fasta",
+]

@@ -1,0 +1,44 @@
+"""Minimal FASTA reader/writer.
+
+Lets users run the benchmarks on real genome downloads (the paper's NCBI
+dataset) instead of the built-in simulator. Only plain single-line or
+wrapped FASTA is supported — no quality scores, no gzip.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator
+
+
+def read_fasta(path: str | os.PathLike) -> Iterator[tuple[str, str]]:
+    """Yield ``(header, sequence)`` pairs from a FASTA file."""
+    header: str | None = None
+    chunks: list[str] = []
+    with open(path, "r", encoding="ascii") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    yield header, "".join(chunks)
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise ValueError(f"{path}: sequence data before first header")
+                chunks.append(line.upper())
+        if header is not None:
+            yield header, "".join(chunks)
+
+
+def write_fasta(
+    path: str | os.PathLike, records: Iterable[tuple[str, str]], *, width: int = 70
+) -> None:
+    """Write ``(header, sequence)`` records, wrapping at *width* columns."""
+    with open(path, "w", encoding="ascii") as fh:
+        for header, seq in records:
+            fh.write(f">{header}\n")
+            for start in range(0, len(seq), width):
+                fh.write(seq[start : start + width] + "\n")

@@ -1,0 +1,72 @@
+"""Synthetic string generators (paper §5).
+
+"Synthetic strings were obtained as randomly generated integer sequences
+of length up to 10^6, with characters sampled from a normal distribution
+with zero mean and standard deviation σ, and then rounded towards zero."
+Small σ concentrates mass on the character 0 (high match frequency:
+σ = 1 gives ≈ 68.3% zeros), large σ spreads it out (low match frequency)
+— the knob the paper uses to emulate similar/dissimilar inputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..alphabet import random_string
+from ..types import CodeArray
+
+#: σ values used in the benchmarks: high / medium / low match frequency.
+SIGMA_HIGH_MATCH = 0.5
+SIGMA_MEDIUM_MATCH = 1.0
+SIGMA_LOW_MATCH = 4.0
+
+
+def synthetic_string(length: int, sigma: float = 1.0, *, seed: int | None = None,
+                     rng: np.random.Generator | None = None) -> CodeArray:
+    """One synthetic string of the given length and σ."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return random_string(rng, length, sigma)
+
+
+def synthetic_pair(
+    m: int,
+    n: int | None = None,
+    sigma: float = 1.0,
+    *,
+    seed: int | None = None,
+) -> tuple[CodeArray, CodeArray]:
+    """An independent pair of synthetic strings (lengths ``m`` and ``n``)."""
+    rng = np.random.default_rng(seed)
+    n = m if n is None else n
+    return random_string(rng, m, sigma), random_string(rng, n, sigma)
+
+
+def binary_string(length: int, p_one: float = 0.5, *, seed: int | None = None,
+                  rng: np.random.Generator | None = None) -> CodeArray:
+    """Uniform (or biased) random binary string for the bit-parallel
+    experiments (paper Fig. 9 uses binary strings of length 10^6)."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    return (rng.random(length) < p_one).astype(np.int8)
+
+
+def binary_pair(
+    m: int, n: int | None = None, p_one: float = 0.5, *, seed: int | None = None
+) -> tuple[CodeArray, CodeArray]:
+    """An independent pair of random binary strings."""
+    rng = np.random.default_rng(seed)
+    n = m if n is None else n
+    return (
+        (rng.random(m) < p_one).astype(np.int8),
+        (rng.random(n) < p_one).astype(np.int8),
+    )
+
+
+def expected_zero_fraction(sigma: float) -> float:
+    """Fraction of zero characters for a given σ (the paper's erfc
+    expression: ``(erfc(-1/(σ√2)) - erfc(1/(σ√2))) / 2``)."""
+    from scipy.special import erfc  # scipy is a test/bench dependency
+
+    x = 1.0 / (sigma * np.sqrt(2.0))
+    return 0.5 * (erfc(-x) - erfc(x))

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class. Validation helpers raise the most specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidPermutationError(ReproError, ValueError):
+    """Raised when an array is not a valid permutation of ``[0, n)``."""
+
+
+class ShapeMismatchError(ReproError, ValueError):
+    """Raised when two operands have incompatible sizes."""
+
+
+class AlphabetError(ReproError, ValueError):
+    """Raised when a string cannot be encoded over the requested alphabet."""
+
+
+class BackendError(ReproError, RuntimeError):
+    """Raised when a parallel backend cannot satisfy a request."""
+
+
+class QueryError(ReproError, IndexError):
+    """Raised when a semi-local score query is outside the valid range."""

@@ -1,0 +1,18 @@
+"""Monge-matrix machinery.
+
+Sticky-braid multiplication is, algebraically, (min,+) multiplication of
+*unit*-Monge matrices (Tiskin [24]; Russo [19] studies the general Monge
+case). This package supplies the general-Monge substrate:
+
+- :func:`repro.monge.smawk.smawk` — the classical SMAWK algorithm for
+  row minima of totally monotone matrices, O(rows + cols) evaluations;
+- :func:`repro.monge.multiply.minplus_multiply_monge` — (min,+) product
+  of explicit Monge matrices in O(n^2) via SMAWK (vs the O(n^3) naive
+  product), the natural dense comparator for the steady ant;
+- helpers for generating and validating Monge matrices in tests.
+"""
+
+from .smawk import row_minima_brute, smawk
+from .multiply import minplus_multiply_monge, random_monge
+
+__all__ = ["smawk", "row_minima_brute", "minplus_multiply_monge", "random_monge"]

@@ -1,0 +1,63 @@
+"""(min,+) products of Monge matrices via SMAWK.
+
+For Monge ``A`` (p x q) and ``B`` (q x r), the product
+``C[i,k] = min_j A[i,j] + B[j,k]`` is again Monge, and for every fixed
+output column ``k`` the matrix ``(i, j) -> A[i,j] + B[j,k]`` is Monge,
+hence totally monotone — so each output column costs O(p + q)
+evaluations with SMAWK, O(r (p + q)) total instead of the naive
+O(p q r). This is Russo's [19] general-Monge setting; distribution
+matrices of permutations are the unit-Monge special case where the
+steady ant does even better (O(n log n) for the implicit product).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeMismatchError
+from .smawk import smawk
+
+
+def minplus_multiply_monge(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """(min,+) product of two Monge matrices in O(r (p + q)) time.
+
+    The Monge property of the inputs is assumed, not verified; results
+    on non-Monge inputs are undefined (use
+    :func:`repro.core.dist_matrix.minplus_multiply` there).
+    """
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+        raise ShapeMismatchError(f"incompatible shapes {a.shape} x {b.shape}")
+    p, q = a.shape
+    r = b.shape[1]
+    out = np.empty((p, r), dtype=np.result_type(a, b))
+    rows = np.arange(p)
+    for k in range(r):
+        col_k = b[:, k]
+
+        def f(i: int, j: int, col_k=col_k) -> float:
+            return a[i, j] + col_k[j]
+
+        arg = smawk(p, q, f)
+        out[:, k] = a[rows, arg] + col_k[arg]
+    return out
+
+
+def random_monge(
+    rng: np.random.Generator, n_rows: int, n_cols: int, *, scale: int = 10
+) -> np.ndarray:
+    """A random integer Monge matrix.
+
+    Built as ``row_pot[i] + col_pot[j] + S[i, j]`` where ``S`` is the
+    upper-left cumulative sum of a nonnegative density — the canonical
+    construction: mixed differences of ``S`` are ``-density <= 0``, so
+    ``M[i,j] + M[i+1,j+1] <= M[i+1,j] + M[i,j+1]`` everywhere.
+    """
+    density = rng.integers(0, scale, size=(n_rows, n_cols))
+    # suffix-row/prefix-col cumulative sums of a nonnegative density have
+    # mixed differences -density[i, j+1] <= 0, i.e. they are Monge
+    s = density[::-1].cumsum(axis=0)[::-1].cumsum(axis=1)
+    row_pot = rng.integers(-scale, scale, size=(n_rows, 1))
+    col_pot = rng.integers(-scale, scale, size=(1, n_cols))
+    return s + row_pot + col_pot

@@ -1,0 +1,95 @@
+"""SMAWK: row minima of totally monotone matrices.
+
+A matrix ``f`` is *totally monotone* (for row minima, leftmost
+tie-breaking) when for every pair of rows ``r < r'`` and columns
+``c < c'``: if ``f(r, c') < f(r, c)`` then ``f(r', c') < f(r', c)`` —
+the column of the row minimum moves weakly right as the row index grows.
+Monge matrices are totally monotone, which is what makes O(n^2)
+(min,+) products of Monge matrices possible.
+
+The SMAWK algorithm (Aggarwal et al.) finds all row minima with
+O(rows + cols) evaluations of ``f``: REDUCE discards columns that cannot
+hold any row minimum, then the problem recurses on the odd rows and the
+even rows are filled by scanning between their odd neighbours' minima.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+Lookup = Callable[[int, int], float]
+
+
+def row_minima_brute(rows: Sequence[int], cols: Sequence[int], f: Lookup) -> dict[int, int]:
+    """Reference: argmin per row by full scan (leftmost tie-breaking)."""
+    out: dict[int, int] = {}
+    for r in rows:
+        best_c = cols[0]
+        best_v = f(r, best_c)
+        for c in cols[1:]:
+            v = f(r, c)
+            if v < best_v:
+                best_v = v
+                best_c = c
+        out[r] = best_c
+    return out
+
+
+def _reduce(rows: Sequence[int], cols: Sequence[int], f: Lookup) -> list[int]:
+    """Discard columns that cannot contain any row's minimum.
+
+    Maintains a stack of surviving columns; column ``cols_stack[k]`` is
+    (so far) the candidate for rows ``rows[>= k]``. Classic REDUCE step.
+    """
+    stack: list[int] = []
+    for c in cols:
+        while stack:
+            k = len(stack) - 1
+            r = rows[k]
+            if f(r, stack[-1]) <= f(r, c):
+                break
+            stack.pop()
+        if len(stack) < len(rows):
+            stack.append(c)
+    return stack
+
+
+def _smawk(rows: Sequence[int], cols: Sequence[int], f: Lookup, out: dict[int, int]) -> None:
+    if not rows:
+        return
+    cols = _reduce(rows, cols, f)
+    odd_rows = rows[1::2]
+    _smawk(odd_rows, cols, f, out)
+    # fill even rows: row minima columns are monotone, so each even row
+    # only scans between its odd neighbours' minima
+    col_pos = {c: k for k, c in enumerate(cols)}
+    for idx in range(0, len(rows), 2):
+        r = rows[idx]
+        lo = col_pos[out[rows[idx - 1]]] if idx > 0 else 0
+        hi = col_pos[out[rows[idx + 1]]] if idx + 1 < len(rows) else len(cols) - 1
+        best_c = cols[lo]
+        best_v = f(r, best_c)
+        for k in range(lo + 1, hi + 1):
+            v = f(r, cols[k])
+            if v < best_v:
+                best_v = v
+                best_c = cols[k]
+        out[r] = best_c
+
+
+def smawk(n_rows: int, n_cols: int, f: Lookup) -> np.ndarray:
+    """Column index of each row's minimum, leftmost on ties.
+
+    *f* must be totally monotone; this is not checked (it would cost
+    more than the algorithm saves) — feed Monge matrices or functions
+    you have proven monotone. O(n_rows + n_cols) evaluations.
+    """
+    if n_rows <= 0:
+        return np.empty(0, dtype=np.int64)
+    if n_cols <= 0:
+        raise ValueError("need at least one column")
+    out: dict[int, int] = {}
+    _smawk(list(range(n_rows)), list(range(n_cols)), f, out)
+    return np.asarray([out[r] for r in range(n_rows)], dtype=np.int64)

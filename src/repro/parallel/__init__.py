@@ -1,0 +1,36 @@
+"""Parallel execution substrate.
+
+The paper's algorithms are parallelized with OpenMP threads + AVX SIMD.
+CPython's GIL makes thread-level parallelism useless for compute-bound
+Python, so this package offers three interchangeable *machines* behind
+one protocol (:class:`repro.parallel.api.Machine`):
+
+- :class:`~repro.parallel.api.SerialMachine` — sequential execution,
+  wall-clock accounting (the 1-thread baseline);
+- :class:`~repro.parallel.simulator.SimulatedMachine` — executes every
+  task sequentially but *accounts* time as a p-worker schedule (greedy
+  list scheduling of the measured per-task durations, plus explicit
+  barrier-synchronization and task-spawn overheads). Deterministic,
+  GIL-free reproduction of the paper's thread-scaling figures: load
+  imbalance, synchronization costs and saturation emerge from the real
+  measured task durations;
+- :class:`~repro.parallel.processes.ProcessMachine` — a real
+  ``multiprocessing`` pool for coarse-grained tasks (steady-ant subtasks,
+  hybrid sub-grids), paying real pickling costs.
+
+SIMD parallelism maps to NumPy-vectorized inner loops throughout the
+core algorithms and needs no machinery here.
+"""
+
+from .api import Machine, SerialMachine
+from .simulator import SimulatedMachine
+from .threads import ThreadMachine
+from .processes import ProcessMachine
+
+__all__ = [
+    "Machine",
+    "SerialMachine",
+    "SimulatedMachine",
+    "ThreadMachine",
+    "ProcessMachine",
+]

@@ -1,0 +1,92 @@
+"""The ``Machine`` protocol: bulk-synchronous rounds of independent tasks.
+
+The paper's parallel algorithms are bulk-synchronous: a sequence of
+rounds, each a set of independent tasks followed by a barrier (the
+``#pragma sync`` in Listings 4-7). A :class:`Machine` executes one round
+and accounts its cost; algorithms parameterized over a machine can run
+serially, on real processes, or on the deterministic simulator without
+code changes.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
+
+Thunk = Callable[[], Any]
+
+
+@runtime_checkable
+class Machine(Protocol):
+    """Executes rounds of independent tasks and accounts elapsed time."""
+
+    #: number of workers the machine models / uses
+    workers: int
+
+    def run_round(self, thunks: Sequence[Thunk]) -> list:
+        """Execute all *thunks* (a parallel region + barrier); return
+        their results in order."""
+        ...
+
+    def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
+        """Execute a round whose work consists of identical-cost *items*.
+
+        Each task is ``(thunk, n_items)`` where the thunk processes all
+        of its items in one (vectorized) batch. Because the items are
+        interchangeable, a p-worker machine would split them evenly; the
+        simulator accounts the round at ``T * ceil(N/p) / N`` for the
+        measured batch time ``T`` and total item count ``N``. This models
+        data-parallel inner loops (anti-diagonal cells, bit-parallel
+        blocks) without paying NumPy dispatch overhead per chunk — the
+        overhead a compiled OpenMP runtime does not have.
+        """
+        ...
+
+    def run_serial(self, thunk: Thunk):
+        """Execute a sequential section (counted at full cost)."""
+        ...
+
+    @property
+    def elapsed(self) -> float:
+        """Accounted running time in seconds."""
+        ...
+
+    def reset(self) -> None:
+        """Zero the accounting."""
+        ...
+
+
+class SerialMachine:
+    """Sequential execution; ``elapsed`` is plain wall-clock time."""
+
+    def __init__(self) -> None:
+        self.workers = 1
+        self._elapsed = 0.0
+        self.rounds = 0
+        self.tasks = 0
+
+    def run_round(self, thunks: Sequence[Thunk]) -> list:
+        start = time.perf_counter()
+        results = [t() for t in thunks]
+        self._elapsed += time.perf_counter() - start
+        self.rounds += 1
+        self.tasks += len(thunks)
+        return results
+
+    def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
+        return self.run_round([t for t, _ in tasks])
+
+    def run_serial(self, thunk: Thunk):
+        start = time.perf_counter()
+        result = thunk()
+        self._elapsed += time.perf_counter() - start
+        return result
+
+    @property
+    def elapsed(self) -> float:
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+        self.rounds = 0
+        self.tasks = 0

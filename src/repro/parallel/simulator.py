@@ -1,0 +1,164 @@
+"""Deterministic p-worker cost-model machine.
+
+Executes every task sequentially (so results are exact and the GIL is
+irrelevant) while *accounting* the time a p-worker shared-memory machine
+would take:
+
+- each round's measured task durations are assigned to ``p`` workers by
+  greedy list scheduling in submission order (OpenMP ``static``-like) or
+  longest-processing-time order (``dynamic``-like), and the round costs
+  the makespan of that schedule;
+- every round adds a barrier-synchronization overhead (the paper's
+  Listing 4 discussion: "after the processing of each anti-diagonal, a
+  synchronization of worker threads is required, which may introduce its
+  own overhead");
+- every task adds a spawn overhead (OpenMP task creation in Listing 5).
+
+The simulated clock therefore exhibits the paper's qualitative phenomena
+— load imbalance on short anti-diagonals, synchronization-bound regimes,
+speedup saturation — driven by *measured* Python/NumPy task durations
+rather than by an analytic formula.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .api import Thunk
+
+#: Defaults loosely calibrated to OpenMP runtime costs, scaled up to
+#: Python magnitudes (they are configurable per experiment).
+DEFAULT_SYNC_OVERHEAD = 5e-6
+DEFAULT_SPAWN_OVERHEAD = 5e-7
+
+
+@dataclass
+class RoundStats:
+    """Accounting record of one parallel round."""
+
+    tasks: int
+    total_work: float
+    makespan: float
+
+    @property
+    def imbalance(self) -> float:
+        """Ratio of makespan to perfectly balanced work (>= 1)."""
+        ideal = self.total_work / max(1, self.tasks)
+        return self.makespan / ideal if ideal > 0 else 1.0
+
+
+@dataclass
+class SimulatedMachine:
+    """See module docstring. ``schedule`` is ``"static"`` or ``"dynamic"``."""
+
+    workers: int = 1
+    sync_overhead: float = DEFAULT_SYNC_OVERHEAD
+    spawn_overhead: float = DEFAULT_SPAWN_OVERHEAD
+    schedule: str = "dynamic"
+    _elapsed: float = field(default=0.0, repr=False)
+    rounds: int = field(default=0, repr=False)
+    tasks: int = field(default=0, repr=False)
+    round_log: list = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.schedule not in ("static", "dynamic"):
+            raise ValueError("schedule must be 'static' or 'dynamic'")
+
+    # -- protocol ------------------------------------------------------
+
+    def run_round(self, thunks: Sequence[Thunk]) -> list:
+        durations = []
+        results = []
+        for t in thunks:
+            start = time.perf_counter()
+            results.append(t())
+            durations.append(time.perf_counter() - start)
+        makespan = self.makespan(durations)
+        self._elapsed += makespan + self.sync_overhead + self.spawn_overhead * len(thunks)
+        self.rounds += 1
+        self.tasks += len(thunks)
+        self.round_log.append(RoundStats(len(thunks), sum(durations), makespan))
+        return results
+
+    def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
+        """Round of identical-cost items, each task vectorized over its
+        own item batch (see :class:`repro.parallel.api.Machine`).
+
+        The measured batch time is scaled by ``ceil(N/p) / N``: with the
+        items spread evenly over ``p`` workers, the busiest worker holds
+        ``ceil(N/p)`` of the ``N`` items. Short rounds (``N < p``) thus
+        retain cost ``T/N`` per item — the load imbalance of short
+        anti-diagonals emerges naturally.
+        """
+        results = []
+        total_time = 0.0
+        total_items = 0
+        for thunk, n_items in tasks:
+            start = time.perf_counter()
+            results.append(thunk())
+            total_time += time.perf_counter() - start
+            total_items += max(1, int(n_items))
+        p = self.workers
+        busiest = -(-total_items // p)  # ceil
+        makespan = total_time * busiest / total_items
+        active_workers = min(p, total_items)
+        self._elapsed += makespan + self.sync_overhead + self.spawn_overhead * active_workers
+        self.rounds += 1
+        self.tasks += active_workers
+        self.round_log.append(RoundStats(active_workers, total_time, makespan))
+        return results
+
+    def run_serial(self, thunk: Thunk):
+        start = time.perf_counter()
+        result = thunk()
+        self._elapsed += time.perf_counter() - start
+        return result
+
+    @property
+    def elapsed(self) -> float:
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+        self.rounds = 0
+        self.tasks = 0
+        self.round_log.clear()
+
+    # -- scheduling ------------------------------------------------------
+
+    def makespan(self, durations: Sequence[float]) -> float:
+        """Makespan of the round on ``self.workers`` workers."""
+        if not durations:
+            return 0.0
+        p = self.workers
+        if p == 1 or len(durations) == 1:
+            return float(sum(durations))
+        if self.schedule == "dynamic":
+            order = sorted(durations, reverse=True)  # LPT
+        else:
+            order = list(durations)  # submission order, greedy
+        heap = [0.0] * min(p, len(order))
+        heapq.heapify(heap)
+        for d in order:
+            heapq.heapreplace(heap, heap[0] + d)
+        return max(heap)
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> dict:
+        total_work = sum(r.total_work for r in self.round_log)
+        return {
+            "workers": self.workers,
+            "rounds": self.rounds,
+            "tasks": self.tasks,
+            "elapsed": self._elapsed,
+            "total_work": total_work,
+            "parallel_efficiency": (
+                total_work / (self._elapsed * self.workers) if self._elapsed else 1.0
+            ),
+        }

@@ -1,0 +1,66 @@
+"""Real thread-pool machine.
+
+Included for completeness and for I/O-bound or GIL-releasing workloads
+(large NumPy kernels release the GIL inside C loops, so *some* overlap is
+possible). For the pure-Python sections of the algorithms the GIL
+serializes execution — which is precisely why the benchmarks default to
+:class:`repro.parallel.simulator.SimulatedMachine`; see DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Sequence
+
+from .api import Thunk
+
+
+class ThreadMachine:
+    """Executes rounds on a shared ``ThreadPoolExecutor``."""
+
+    def __init__(self, workers: int = 2):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._pool = ThreadPoolExecutor(max_workers=workers)
+        self._elapsed = 0.0
+        self.rounds = 0
+        self.tasks = 0
+
+    def run_round(self, thunks: Sequence[Thunk]) -> list:
+        start = time.perf_counter()
+        results = list(self._pool.map(lambda t: t(), thunks))
+        self._elapsed += time.perf_counter() - start
+        self.rounds += 1
+        self.tasks += len(thunks)
+        return results
+
+    def run_uniform_round(self, tasks):
+        """Uniform rounds degrade to plain rounds on real machines (the
+        vectorized batch cannot be split post hoc)."""
+        return self.run_round([t for t, _ in tasks])
+
+    def run_serial(self, thunk: Thunk):
+        start = time.perf_counter()
+        result = thunk()
+        self._elapsed += time.perf_counter() - start
+        return result
+
+    @property
+    def elapsed(self) -> float:
+        return self._elapsed
+
+    def reset(self) -> None:
+        self._elapsed = 0.0
+        self.rounds = 0
+        self.tasks = 0
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+    def __enter__(self) -> "ThreadMachine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,22 @@
+"""Shared type aliases used across the library.
+
+The algorithms operate on *encoded* strings: contiguous NumPy integer
+arrays. ``Sequenceish`` is anything :func:`repro.alphabet.encode` accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+import numpy as np
+import numpy.typing as npt
+
+#: An encoded string: 1-D array of non-negative integer character codes.
+CodeArray = npt.NDArray[np.integer]
+
+#: A permutation stored row-wise: ``perm[i]`` is the column of the single
+#: nonzero in row ``i`` of the corresponding permutation matrix.
+PermArray = npt.NDArray[np.integer]
+
+#: Anything that can be encoded into a :data:`CodeArray`.
+Sequenceish = Union[str, bytes, Sequence[int], npt.NDArray[np.integer]]

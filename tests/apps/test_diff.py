@@ -1,0 +1,86 @@
+"""Tests for the LCS-based diff application."""
+
+import pytest
+
+from repro.apps.diff import DiffOp, diff, diff_lines, similarity, unified
+
+
+def apply_ops(ops):
+    """Replay an edit script; returns (reconstructed_a, reconstructed_b)."""
+    a = [op.value for op in ops if op.kind in ("=", "-")]
+    b = [op.value for op in ops if op.kind in ("=", "+")]
+    return a, b
+
+
+class TestDiff:
+    def test_roundtrip_strings(self):
+        a, b = "kitten", "sitting"
+        ops = diff(a, b)
+        ra, rb = apply_ops(ops)
+        assert "".join(ra) == a
+        assert "".join(rb) == b
+
+    def test_minimality(self):
+        from repro.baselines.prefix_lcs import prefix_lcs_rowmajor
+
+        a, b = "abcabba", "cbabac"
+        ops = diff(a, b)
+        kept = sum(1 for op in ops if op.kind == "=")
+        assert kept == prefix_lcs_rowmajor(a, b)
+
+    def test_identical(self):
+        ops = diff("same", "same")
+        assert all(op.kind == "=" for op in ops)
+
+    def test_disjoint(self):
+        ops = diff("aa", "bb")
+        kinds = [op.kind for op in ops]
+        assert kinds.count("-") == 2 and kinds.count("+") == 2 and "=" not in kinds
+
+    def test_empty_sides(self):
+        assert [op.kind for op in diff("", "ab")] == ["+", "+"]
+        assert [op.kind for op in diff("ab", "")] == ["-", "-"]
+
+    def test_integer_sequences(self):
+        ops = diff([1, 2, 3], [2, 3, 4])
+        ra, rb = apply_ops(ops)
+        assert ra == [1, 2, 3] and rb == [2, 3, 4]
+
+    def test_random_roundtrip(self, rng):
+        for _ in range(20):
+            a = rng.integers(0, 4, size=int(rng.integers(0, 20))).tolist()
+            b = rng.integers(0, 4, size=int(rng.integers(0, 20))).tolist()
+            ra, rb = apply_ops(diff(a, b))
+            assert ra == a and rb == b
+
+
+class TestDiffLines:
+    def test_line_diff(self):
+        a = "alpha\nbeta\ngamma"
+        b = "alpha\ngamma\ndelta"
+        ops = diff_lines(a, b)
+        ra, rb = apply_ops(ops)
+        assert ra == a.splitlines()
+        assert rb == b.splitlines()
+        assert DiffOp("-", "beta") in ops
+        assert DiffOp("+", "delta") in ops
+
+    def test_unified_rendering(self):
+        text = unified(diff_lines("a\nb", "a\nc"))
+        assert " a" in text and "-b" in text and "+c" in text
+
+
+class TestSimilarity:
+    def test_bounds(self, rng):
+        a = rng.integers(0, 3, size=15)
+        b = rng.integers(0, 3, size=20)
+        assert 0.0 <= similarity(a, b) <= 1.0
+
+    def test_identical_is_one(self):
+        assert similarity("abc", "abc") == 1.0
+
+    def test_empty_both(self):
+        assert similarity("", "") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert similarity("aa", "bb") == 0.0

@@ -1,0 +1,76 @@
+"""Tests for LCS-based genome similarity and UPGMA."""
+
+import numpy as np
+import pytest
+
+from repro.apps.genome_similarity import lcs_distance, similarity_matrix, upgma_newick
+from repro.datasets.genomes import GenomeSimulator
+
+
+class TestDistance:
+    def test_identical_zero(self):
+        assert lcs_distance("ACGT", "ACGT") == 0.0
+
+    def test_disjoint_one(self):
+        assert lcs_distance("AAAA", "TTTT") == 1.0
+
+    def test_range(self, rng):
+        x = rng.integers(0, 4, size=50)
+        y = rng.integers(0, 4, size=70)
+        assert 0.0 <= lcs_distance(x, y) <= 1.0
+
+    def test_empty(self):
+        assert lcs_distance("", "") == 0.0
+        assert lcs_distance("", "AC") == 1.0
+
+
+class TestMatrix:
+    def test_symmetric_zero_diagonal(self, rng):
+        genomes = [rng.integers(0, 4, size=60) for _ in range(4)]
+        d = similarity_matrix(genomes)
+        assert np.allclose(d, d.T)
+        assert np.allclose(np.diag(d), 0)
+
+    def test_related_strains_cluster(self):
+        sim = GenomeSimulator(seed=3)
+        family_a = sim.strains(800, 2, generations=1)
+        family_b = sim.strains(800, 2, generations=1)
+        d = similarity_matrix(family_a + family_b)
+        # within-family distances smaller than between-family
+        assert d[0, 1] < d[0, 2]
+        assert d[2, 3] < d[1, 3]
+
+
+class TestUpgma:
+    def test_pairs_closest_first(self):
+        d = np.array(
+            [
+                [0.0, 0.1, 0.9, 0.9],
+                [0.1, 0.0, 0.9, 0.9],
+                [0.9, 0.9, 0.0, 0.1],
+                [0.9, 0.9, 0.1, 0.0],
+            ]
+        )
+        tree = upgma_newick(d, ["a", "b", "c", "d"])
+        assert "(a:" in tree or "(b:" in tree
+        # a-b and c-d are siblings
+        assert ("a" in tree.split("),")[0]) == ("b" in tree.split("),")[0])
+        assert tree.endswith(";")
+
+    def test_single_leaf(self):
+        assert upgma_newick(np.zeros((1, 1)), ["x"]) == "x;"
+
+    def test_empty(self):
+        assert upgma_newick(np.zeros((0, 0))) == ";"
+
+    def test_default_labels(self):
+        tree = upgma_newick(np.array([[0.0, 0.5], [0.5, 0.0]]))
+        assert "g0" in tree and "g1" in tree
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            upgma_newick(np.zeros((2, 2)), ["only-one"])
+
+    def test_non_square(self):
+        with pytest.raises(ValueError):
+            upgma_newick(np.zeros((2, 3)))

@@ -1,0 +1,76 @@
+"""Tests for the classic bit-vector LCS baseline (Crochemore/Hyyrö)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.bit_hyyro import bit_lcs_hyyro, bit_lcs_hyyro_words, hyyro_profile
+from repro.baselines.lcs_dp import lcs_score_scalar
+
+from ..conftest import random_pair
+
+
+@pytest.mark.parametrize("fn", [bit_lcs_hyyro, bit_lcs_hyyro_words], ids=lambda f: f.__name__)
+class TestHyyro:
+    def test_matches_dp(self, fn, rng):
+        for _ in range(40):
+            a, b = random_pair(rng, max_len=30, alphabet=4)
+            assert fn(a, b) == lcs_score_scalar(a, b), (a.tolist(), b.tolist())
+
+    def test_large_alphabet(self, fn, rng):
+        a, b = random_pair(rng, max_len=25, alphabet=100)
+        assert fn(a, b) == lcs_score_scalar(a, b)
+
+    def test_strings(self, fn):
+        assert fn("ABCBDAB", "BDCAB") == 4
+
+    def test_empty(self, fn):
+        assert fn("", "abc") == 0
+        assert fn("abc", "") == 0
+
+    def test_identical(self, fn):
+        assert fn("samesame", "samesame") == 8
+
+    def test_disjoint(self, fn):
+        assert fn("aaa", "bbb") == 0
+
+
+class TestWordBoundaries:
+    @pytest.mark.parametrize("m", [63, 64, 65, 127, 128, 129, 200])
+    def test_multi_word_columns(self, m, rng):
+        """Carry propagation across 64-bit word boundaries must be exact."""
+        a = rng.integers(0, 2, size=m).tolist()
+        b = rng.integers(0, 2, size=97).tolist()
+        assert bit_lcs_hyyro_words(a, b) == lcs_score_scalar(a, b)
+
+    def test_words_agree_with_bigint(self, rng):
+        for _ in range(10):
+            a, b = random_pair(rng, max_len=150, alphabet=3)
+            assert bit_lcs_hyyro_words(a, b) == bit_lcs_hyyro(a, b)
+
+
+class TestProfile:
+    def test_prefix_scores(self, rng):
+        a, b = random_pair(rng, max_len=15, alphabet=3)
+        prof = hyyro_profile(a, b)
+        for j in range(len(b)):
+            assert prof[j] == lcs_score_scalar(a, b[: j + 1])
+
+    def test_monotone(self, rng):
+        a, b = random_pair(rng, max_len=20)
+        prof = hyyro_profile(a, b)
+        assert (np.diff(prof) >= 0).all()
+
+    def test_empty_pattern(self):
+        assert hyyro_profile("", "abc").tolist() == [0, 0, 0]
+
+
+class TestAgreementWithPaperAlgorithm:
+    def test_same_scores_as_bit_lcs(self, rng):
+        """The carry-based and the Boolean-only algorithms agree on binary
+        inputs (the paper's future-work comparison)."""
+        from repro.core.bitparallel import bit_lcs
+
+        for _ in range(15):
+            a = rng.integers(0, 2, size=int(rng.integers(1, 120)))
+            b = rng.integers(0, 2, size=int(rng.integers(1, 120)))
+            assert bit_lcs_hyyro(a, b) == bit_lcs(a, b)

@@ -1,0 +1,38 @@
+"""Tests for Hirschberg's linear-space LCS recovery."""
+
+from repro.alphabet import decode
+from repro.baselines.hirschberg import hirschberg_lcs
+from repro.baselines.lcs_dp import lcs_score_scalar
+
+from ..conftest import random_pair
+
+
+def is_subsequence(sub, seq):
+    it = iter(seq)
+    return all(any(x == y for y in it) for x in sub)
+
+
+class TestHirschberg:
+    def test_length_optimal(self, rng):
+        for _ in range(30):
+            a, b = random_pair(rng, max_len=20, alphabet=3)
+            w = hirschberg_lcs(a, b)
+            assert len(w) == lcs_score_scalar(a, b)
+
+    def test_witness_validity(self, rng):
+        for _ in range(20):
+            a, b = random_pair(rng, max_len=15, alphabet=3)
+            w = hirschberg_lcs(a, b).tolist()
+            assert is_subsequence(w, a.tolist())
+            assert is_subsequence(w, b.tolist())
+
+    def test_empty(self):
+        assert hirschberg_lcs("", "abc").size == 0
+        assert hirschberg_lcs("abc", "").size == 0
+
+    def test_identical(self):
+        assert decode(hirschberg_lcs("identical", "identical")) == "identical"
+
+    def test_classic_example(self):
+        w = hirschberg_lcs("AGGTAB", "GXTXAYB")
+        assert len(w) == 4  # GTAB

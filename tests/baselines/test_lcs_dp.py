@@ -1,0 +1,57 @@
+"""Tests for the classic DP LCS baseline."""
+
+import numpy as np
+
+from repro.alphabet import decode
+from repro.baselines.lcs_dp import lcs_backtrack, lcs_score_dp, lcs_score_scalar, lcs_table
+
+from ..conftest import random_pair
+
+
+class TestScores:
+    def test_known_cases(self):
+        assert lcs_score_dp("ABCBDAB", "BDCAB") == 4
+        assert lcs_score_dp("", "anything") == 0
+        assert lcs_score_dp("same", "same") == 4
+        assert lcs_score_dp("abc", "xyz") == 0
+
+    def test_vectorized_matches_scalar(self, rng):
+        for _ in range(30):
+            a, b = random_pair(rng, max_len=15, alphabet=4)
+            assert lcs_score_dp(a, b) == lcs_score_scalar(a, b)
+
+    def test_symmetry(self, rng):
+        a, b = random_pair(rng)
+        assert lcs_score_dp(a, b) == lcs_score_dp(b, a)
+
+
+class TestTable:
+    def test_monotonicity(self, rng):
+        a, b = random_pair(rng, max_len=10)
+        t = lcs_table(a, b)
+        assert (np.diff(t, axis=0) >= 0).all()
+        assert (np.diff(t, axis=1) >= 0).all()
+        assert (np.diff(t, axis=0) <= 1).all()
+
+    def test_boundary_zeros(self, rng):
+        a, b = random_pair(rng)
+        t = lcs_table(a, b)
+        assert (t[0] == 0).all() and (t[:, 0] == 0).all()
+
+
+class TestBacktrack:
+    def test_witness_is_common_subsequence(self, rng):
+        def is_subsequence(sub, seq):
+            it = iter(seq)
+            return all(any(x == y for y in it) for x in sub)
+
+        for _ in range(20):
+            a, b = random_pair(rng, max_len=12, alphabet=3)
+            w = lcs_backtrack(a, b)
+            assert len(w) == lcs_score_dp(a, b)
+            assert is_subsequence(w.tolist(), a.tolist())
+            assert is_subsequence(w.tolist(), b.tolist())
+
+    def test_string_witness(self):
+        w = decode(lcs_backtrack("ABCBDAB", "BDCAB"))
+        assert len(w) == 4

@@ -1,0 +1,49 @@
+"""Tests for the prefix-LCS baselines (paper's prefix_rowmajor /
+prefix_antidiag_SIMD)."""
+
+import pytest
+
+from repro.baselines.lcs_dp import lcs_score_scalar
+from repro.baselines.prefix_lcs import (
+    prefix_lcs_antidiag_simd,
+    prefix_lcs_rowmajor,
+    prefix_lcs_scalar,
+)
+
+from ..conftest import random_codes, random_pair
+
+ALL = [prefix_lcs_rowmajor, prefix_lcs_antidiag_simd, prefix_lcs_scalar]
+
+
+@pytest.mark.parametrize("fn", ALL, ids=lambda f: f.__name__)
+class TestPrefixLcs:
+    def test_matches_scalar_dp(self, fn, rng):
+        for _ in range(25):
+            a, b = random_pair(rng, max_len=16, alphabet=4)
+            assert fn(a, b) == lcs_score_scalar(a, b), (a.tolist(), b.tolist())
+
+    def test_empty(self, fn):
+        assert fn("", "abc") == 0
+        assert fn("abc", "") == 0
+
+    def test_single_chars(self, fn):
+        assert fn("a", "a") == 1
+        assert fn("a", "b") == 0
+
+    def test_asymmetric_lengths(self, fn, rng):
+        a = random_codes(rng, 3)
+        b = random_codes(rng, 40)
+        assert fn(a, b) == lcs_score_scalar(a, b)
+        assert fn(b, a) == lcs_score_scalar(a, b)
+
+    def test_strings(self, fn):
+        assert fn("GATTACA", "TAGACCA") == 5 or fn("GATTACA", "TAGACCA") == lcs_score_scalar(
+            "GATTACA", "TAGACCA"
+        )
+
+
+class TestLargerAgreement:
+    def test_rowmajor_vs_antidiag_medium(self, rng):
+        a = random_codes(rng, 300, alphabet=5)
+        b = random_codes(rng, 450, alphabet=5)
+        assert prefix_lcs_rowmajor(a, b) == prefix_lcs_antidiag_simd(a, b)

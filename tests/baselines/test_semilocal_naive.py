@@ -1,0 +1,78 @@
+"""Tests for the brute-force semi-local oracle itself.
+
+The oracle backs every kernel test, so it gets its own sanity checks
+against first principles (direct DP on explicit padded windows).
+"""
+
+import numpy as np
+
+from repro.baselines.lcs_dp import lcs_score_scalar
+from repro.baselines.semilocal_naive import (
+    WILDCARD,
+    h_quadrants,
+    lcs_with_wildcards,
+    padded_b,
+    semilocal_h_matrix_naive,
+)
+
+from ..conftest import random_pair
+
+
+class TestWildcardLcs:
+    def test_no_wildcards_is_plain_lcs(self, rng):
+        a, b = random_pair(rng, max_len=10)
+        assert lcs_with_wildcards(a, b) == lcs_score_scalar(a, b)
+
+    def test_all_wildcards(self):
+        a = np.array([1, 2, 3])
+        w = np.full(5, WILDCARD)
+        assert lcs_with_wildcards(a, w) == 3  # each wildcard matches once
+
+    def test_leading_wildcards_formula(self, rng):
+        """LCS(a, ?^k w) = k + LCS(a[k:], w) for k <= |a| (the identity the
+        quadrant formulas rely on)."""
+        for _ in range(20):
+            a, b = random_pair(rng, max_len=8)
+            for k in range(len(a) + 1):
+                padded = np.concatenate([np.full(k, WILDCARD), b])
+                assert lcs_with_wildcards(a, padded) == k + lcs_score_scalar(a[k:], b)
+
+
+class TestPaddedB:
+    def test_shape_and_content(self):
+        a = np.array([1, 2])
+        b = np.array([7, 8, 9])
+        bp = padded_b(a, b)
+        assert bp.size == 2 + 3 + 2
+        assert (bp[:2] == WILDCARD).all() and (bp[-2:] == WILDCARD).all()
+        assert bp[2:5].tolist() == [7, 8, 9]
+
+
+class TestHMatrix:
+    def test_definition_cases(self, rng):
+        a, b = random_pair(rng, max_len=6)
+        m, n = len(a), len(b)
+        h = semilocal_h_matrix_naive(a, b)
+        bp = padded_b(a, b)
+        for i in range(m + n + 1):
+            for j in range(m + n + 1):
+                if i < j + m:
+                    window = bp[i : j + m]
+                    assert h[i, j] == lcs_with_wildcards(a, window), (i, j)
+                else:
+                    assert h[i, j] == j + m - i
+
+    def test_center_is_global_lcs(self, rng):
+        a, b = random_pair(rng, max_len=8)
+        h = semilocal_h_matrix_naive(a, b)
+        assert h[len(a), len(b)] == lcs_score_scalar(a, b)
+
+    def test_quadrants_shapes(self, rng):
+        a, b = random_pair(rng, max_len=6)
+        m, n = len(a), len(b)
+        h = semilocal_h_matrix_naive(a, b)
+        q = h_quadrants(h, m, n)
+        assert q["suffix-prefix"].shape == (m, n)
+        assert q["substring-string"].shape == (m, m + 1)
+        assert q["string-substring"].shape == (n + 1, n)
+        assert q["prefix-suffix"].shape == (n + 1, m + 1)

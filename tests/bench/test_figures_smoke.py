@@ -1,0 +1,75 @@
+"""Smoke tests: every figure entry point runs at tiny scale and produces
+a well-formed table with the expected columns."""
+
+import pytest
+
+from repro.bench import figures
+
+
+@pytest.fixture(autouse=True)
+def tiny_scale(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_SCALE", "0.01")
+
+
+class TestFigureRegistry:
+    def test_registry_complete(self):
+        expected = {
+            "fig4a", "fig4b", "fig4c", "fig5", "fig5-genomes", "fig5-blends",
+            "fig6", "fig7", "fig8", "fig9a", "fig9b", "fig9cd", "fig9e",
+        }
+        assert set(figures.FIGURES) == expected
+
+
+class TestSmoke:
+    def test_fig4a(self):
+        t = figures.fig4a_braid_mult_optimizations(sizes=[64, 128], repeats=1)
+        assert len(t.rows) == 2
+        assert all(r[1] > 0 for r in t.rows)
+
+    def test_fig4b(self):
+        t = figures.fig4b_parallel_braid_mult(n=256, thresholds=(0, 1, 2), workers=4)
+        assert [r[0] for r in t.rows] == [0, 1, 2]
+
+    def test_fig4c(self):
+        t = figures.fig4c_load_balanced_overhead(sizes=[64], repeats=1)
+        assert 0 <= t.rows[0][3] <= 1  # braid share is a fraction
+
+    def test_fig5(self):
+        t = figures.fig5_semilocal_vs_prefix(lengths=[64], repeats=1, include_scalar=True)
+        assert len(t.columns) == 7
+
+    def test_fig5_genomes(self):
+        t = figures.fig5_real_genomes(presets=("phage-ms2",), repeats=1)
+        assert t.rows[0][0] == "phage-ms2"
+
+    def test_fig5_blends(self):
+        t = figures.fig5_blend_ablation(n=64, sigmas=(1.0,), repeats=1)
+        assert len(t.rows) == 1
+
+    def test_fig6(self):
+        t = figures.fig6_hybrid_threshold(lengths=[64], depths=(0, 1), repeats=1)
+        assert t.rows[0][3] == 1  # depth 0 normalizes to itself
+
+    def test_fig7(self):
+        t = figures.fig7_threads(n=96, threads=(1, 2))
+        assert len(t.rows) == 2
+
+    def test_fig8(self):
+        t = figures.fig8_scalability(n=96, threads=(1, 2))
+        assert t.rows[0][1] == pytest.approx(1.0, rel=0.3)
+
+    def test_fig9a(self):
+        t = figures.fig9a_bit_memory_optimization(n=256, threads=(1,))
+        assert t.rows[0][3] > 0  # speedup defined
+
+    def test_fig9b(self):
+        t = figures.fig9b_bit_formula_optimization(n=256, repeats=1)
+        assert t.rows[1][2] > 0
+
+    def test_fig9cd(self):
+        t = figures.fig9cd_binary_scalability(n=256, threads=(1, 2))
+        assert len(t.rows) == 2
+
+    def test_fig9e(self):
+        t = figures.fig9e_bit_vs_semilocal(n=256, repeats=1)
+        assert [r[0] for r in t.rows][0] == "bit_new_2"

@@ -1,0 +1,59 @@
+"""Tests for the benchmark harness utilities."""
+
+import pytest
+
+from repro.bench.harness import BenchTable, bench_scale, scaled, time_call
+
+
+class TestBenchTable:
+    def test_add_and_render(self):
+        t = BenchTable("demo", ["a", "b"])
+        t.add(1, 2.5)
+        t.add("xx", 0.000123)
+        out = t.render()
+        assert "demo" in out
+        assert "xx" in out
+        assert "0.000123" in out
+
+    def test_wrong_arity(self):
+        t = BenchTable("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add(1, 2)
+
+    def test_notes_rendered(self):
+        t = BenchTable("demo", ["a"])
+        t.add(1)
+        t.note("hello")
+        assert "# hello" in t.render()
+
+    def test_empty_table_renders(self):
+        assert "demo" in BenchTable("demo", ["col"]).render()
+
+
+class TestScaling:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+        assert scaled(100) == 100
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert scaled(100) == 50
+
+    def test_minimum(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.0001")
+        assert scaled(100) == 16
+
+    def test_bad_value(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "not-a-float")
+        assert bench_scale(2.0) == 2.0
+
+
+class TestTimeCall:
+    def test_returns_positive(self):
+        assert time_call(lambda: sum(range(100)), repeats=2, warmup=1) > 0
+
+    def test_calls_expected_times(self):
+        calls = []
+        time_call(lambda: calls.append(1), repeats=3, warmup=2)
+        assert len(calls) == 5

@@ -1,0 +1,23 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(0xC0FFEE)
+
+
+def random_codes(rng: np.random.Generator, length: int, alphabet: int = 3) -> np.ndarray:
+    """Random encoded string over a small alphabet."""
+    return rng.integers(0, alphabet, size=length).astype(np.int64)
+
+
+def random_pair(rng, max_len: int = 12, alphabet: int = 3):
+    m = int(rng.integers(1, max_len + 1))
+    n = int(rng.integers(1, max_len + 1))
+    return random_codes(rng, m, alphabet), random_codes(rng, n, alphabet)

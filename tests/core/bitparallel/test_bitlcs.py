@@ -1,0 +1,86 @@
+"""Tests for the blocked bit-parallel LCS (Listing 8)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.lcs_dp import lcs_score_scalar
+from repro.core.bitparallel import bit_lcs, bit_lcs_bigint
+from repro.errors import AlphabetError
+
+
+def random_binary(rng, n):
+    return rng.integers(0, 2, size=n).astype(np.int8)
+
+
+class TestBigint:
+    def test_matches_dp(self, rng):
+        for _ in range(100):
+            a = random_binary(rng, int(rng.integers(1, 50)))
+            b = random_binary(rng, int(rng.integers(1, 50)))
+            assert bit_lcs_bigint(a, b) == lcs_score_scalar(a, b)
+
+    def test_string_input(self):
+        assert bit_lcs_bigint("1000", "0100") == 3  # paper Fig. 3 example
+
+    def test_empty(self):
+        assert bit_lcs_bigint([], [1]) == 0
+        assert bit_lcs_bigint([1], []) == 0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(AlphabetError):
+            bit_lcs_bigint([0, 1, 2], [0, 1])
+
+    def test_identical(self, rng):
+        a = random_binary(rng, 40)
+        assert bit_lcs_bigint(a, a) == 40
+
+
+@pytest.mark.parametrize("variant", ["old", "new1", "new2"])
+class TestBlocked:
+    @pytest.mark.parametrize("w", [1, 2, 4, 8, 16, 64])
+    def test_matches_dp_all_widths(self, variant, w, rng):
+        for _ in range(25):
+            a = random_binary(rng, int(rng.integers(1, 40)))
+            b = random_binary(rng, int(rng.integers(1, 40)))
+            got = bit_lcs(a, b, variant=variant, w=w)
+            assert got == lcs_score_scalar(a, b), (variant, w, a.tolist(), b.tolist())
+
+    def test_exact_multiple_of_w(self, variant, rng):
+        a = random_binary(rng, 128)
+        b = random_binary(rng, 64)
+        assert bit_lcs(a, b, variant=variant, w=64) == lcs_score_scalar(a, b)
+
+    def test_ragged_lengths(self, variant, rng):
+        a = random_binary(rng, 65)
+        b = random_binary(rng, 63)
+        assert bit_lcs(a, b, variant=variant, w=64) == lcs_score_scalar(a, b)
+
+    def test_very_asymmetric(self, variant, rng):
+        a = random_binary(rng, 3)
+        b = random_binary(rng, 200)
+        assert bit_lcs(a, b, variant=variant) == lcs_score_scalar(a, b)
+        assert bit_lcs(b, a, variant=variant) == lcs_score_scalar(a, b)
+
+    def test_empty(self, variant):
+        assert bit_lcs([], [1, 0], variant=variant) == 0
+
+    def test_all_zeros_vs_all_ones(self, variant):
+        assert bit_lcs([0] * 70, [1] * 70, variant=variant) == 0
+
+    def test_identical_long(self, variant, rng):
+        a = random_binary(rng, 300)
+        assert bit_lcs(a, a.copy(), variant=variant) == 300
+
+
+class TestVariantsAgree:
+    def test_pairwise_agreement_medium(self, rng):
+        for _ in range(10):
+            a = random_binary(rng, 500)
+            b = random_binary(rng, 700)
+            scores = {v: bit_lcs(a, b, variant=v) for v in ("old", "new1", "new2")}
+            assert len(set(scores.values())) == 1, scores
+            assert scores["new2"] == bit_lcs_bigint(a, b)
+
+    def test_paper_example(self):
+        for v in ("old", "new1", "new2"):
+            assert bit_lcs("1000", "0100", variant=v, w=4) == 3

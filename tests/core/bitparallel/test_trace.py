@@ -1,0 +1,45 @@
+"""Tests for the Fig. 3 anti-diagonal trace."""
+
+from repro.core.bitparallel.trace import bit_combing_snapshots, format_snapshots
+
+
+class TestSnapshots:
+    def test_paper_example_second_antidiagonal(self):
+        """Paper §4.4: after initialization h = 1111, v = 0000; processing
+        the second anti-diagonal uses shift 2 and mask 0011."""
+        snaps, score = bit_combing_snapshots("1000", "0100")
+        assert score == 3
+        assert len(snaps) == 4 + 4 - 1
+        # before any anti-diagonal: h all ones, v all zeros is implied;
+        # anti-diagonal 0 touches only cell (3, 0) [strand bit l=3... l=j+? ]
+        first = snaps[0]
+        assert 0 <= first.h < 16 and 0 <= first.v < 16
+
+    def test_final_popcount_consistency(self):
+        snaps, score = bit_combing_snapshots("1000", "0100")
+        final_h = snaps[-1].h
+        assert score == 4 - bin(final_h).count("1")
+
+    def test_snapshot_count(self):
+        snaps, _ = bit_combing_snapshots("101", "0110")
+        assert len(snaps) == 3 + 4 - 1
+
+    def test_bit_rendering_lengths(self):
+        snaps, _ = bit_combing_snapshots("101", "0110")
+        for s in snaps:
+            assert len(s.h_bits(3)) == 3
+            assert len(s.v_bits(4)) == 4
+
+
+class TestFormat:
+    def test_contains_all_lines(self):
+        text = format_snapshots("1000", "0100")
+        assert "init: h = 1111, v = 0000" in text
+        assert "LCS = |a| - popcount(h) = 3" in text
+        assert text.count("after anti-diagonal") == 7
+
+    def test_accepts_code_arrays(self):
+        import numpy as np
+
+        text = format_snapshots(np.array([1, 0]), np.array([0, 1]))
+        assert "LCS" in text

@@ -1,0 +1,88 @@
+"""Tests for the bit-parallel word packing."""
+
+import numpy as np
+import pytest
+
+from repro.core.bitparallel.words import (
+    pack_a_words,
+    pack_b_words,
+    popcount_words,
+    word_mask,
+    words_to_bits,
+)
+from repro.errors import AlphabetError
+
+
+class TestWordMask:
+    def test_widths(self):
+        assert int(word_mask(4)) == 0xF
+        assert int(word_mask(64)) == 0xFFFFFFFFFFFFFFFF
+
+
+class TestPackB:
+    def test_lsb_first(self):
+        words, valid, n_pad = pack_b_words(np.array([0, 1, 0, 0], dtype=np.int8), w=4)
+        assert words.tolist() == [0b0010]
+        assert valid.tolist() == [0b1111]
+        assert n_pad == 4
+
+    def test_ragged_tail(self):
+        words, valid, n_pad = pack_b_words(np.array([1, 1, 1], dtype=np.int8), w=4)
+        assert n_pad == 4
+        assert words.tolist() == [0b0111]
+        assert valid.tolist() == [0b0111]
+
+    def test_multiword(self):
+        b = np.array([1] * 5, dtype=np.int8)
+        words, valid, n_pad = pack_b_words(b, w=4)
+        assert words.tolist() == [0b1111, 0b0001]
+        assert valid.tolist() == [0b1111, 0b0001]
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(AlphabetError):
+            pack_b_words(np.array([0, 2]))
+
+
+class TestPackA:
+    def test_reversed_msb_first(self):
+        # paper example: a = "1000" with w=4 encodes to 1000_2
+        words, valid, m_pad = pack_a_words(np.array([1, 0, 0, 0], dtype=np.int8), w=4)
+        assert words.tolist() == [0b1000]
+        assert valid.tolist() == [0b1111]
+        assert m_pad == 4
+
+    def test_ragged_pad_in_low_bits(self):
+        words, valid, m_pad = pack_a_words(np.array([1, 1, 1], dtype=np.int8), w=4)
+        # 3 valid rows occupy the HIGH bits; bit 0 is padding
+        assert m_pad == 4
+        assert valid.tolist() == [0b1110]
+        assert words.tolist() == [0b1110]
+
+    def test_word_order_reversed(self):
+        a = np.array([1, 0, 0, 0, 0, 0, 0, 0], dtype=np.int8)
+        words, _, _ = pack_a_words(a, w=4)
+        # a[0] is the most significant bit of the LAST word
+        assert words.tolist() == [0b0000, 0b1000]
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            pack_a_words(np.array([1]), w=0)
+        with pytest.raises(ValueError):
+            pack_b_words(np.array([1]), w=65)
+
+
+class TestBitsHelpers:
+    def test_words_to_bits_roundtrip(self, rng):
+        b = rng.integers(0, 2, size=25).astype(np.int8)
+        words, _, n_pad = pack_b_words(b, w=8)
+        bits = words_to_bits(words, 8)
+        assert bits[:25].tolist() == b.tolist()
+        assert bits[25:n_pad].sum() == 0
+
+    def test_popcount(self, rng):
+        b = rng.integers(0, 2, size=100).astype(np.int8)
+        words, _, _ = pack_b_words(b, w=16)
+        assert popcount_words(words, 16) == int(b.sum())
+
+    def test_popcount_empty(self):
+        assert popcount_words(np.array([], dtype=np.uint64), 64) == 0

@@ -1,0 +1,133 @@
+"""Tests for hybrid combing (Listings 6 and 7)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combing.hybrid import (
+    _split_lengths,
+    hybrid_combing,
+    hybrid_combing_grid,
+    optimal_split,
+)
+from repro.core.combing.iterative import iterative_combing_rowmajor
+
+from ...conftest import random_codes, random_pair
+
+
+class TestHybridCombing:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3, 4])
+    def test_matches_iterative_any_depth(self, depth, rng):
+        for _ in range(10):
+            a, b = random_pair(rng, max_len=14)
+            got = hybrid_combing(a, b, depth)
+            assert np.array_equal(got, iterative_combing_rowmajor(a, b)), (depth, a, b)
+
+    def test_depth_zero_is_pure_iterative(self, rng):
+        a, b = random_pair(rng)
+        leaves = []
+        hybrid_combing(a, b, 0, on_leaf=lambda m, n: leaves.append((m, n)))
+        assert leaves == [(len(a), len(b))]
+
+    def test_leaf_count_doubles_per_level(self, rng):
+        a = random_codes(rng, 32)
+        b = random_codes(rng, 32)
+        for depth in (1, 2, 3):
+            leaves = []
+            hybrid_combing(a, b, depth, on_leaf=lambda m, n: leaves.append((m, n)))
+            assert len(leaves) == 2**depth
+
+    def test_leaves_cover_all_cells(self, rng):
+        a = random_codes(rng, 20)
+        b = random_codes(rng, 30)
+        leaves = []
+        hybrid_combing(a, b, 3, on_leaf=lambda m, n: leaves.append((m, n)))
+        assert sum(m * n for m, n in leaves) == 20 * 30
+
+    def test_empty_input(self):
+        assert hybrid_combing([], [1], 2).tolist() == [0]
+
+
+class TestOptimalSplit:
+    def test_reaches_task_count(self):
+        m_outer, n_outer = optimal_split(1000, 1000, 8)
+        assert m_outer * n_outer >= 8
+
+    def test_splits_longer_side_more(self):
+        m_outer, n_outer = optimal_split(100, 10_000, 8)
+        assert n_outer > m_outer
+
+    def test_single_task(self):
+        assert optimal_split(50, 50, 1) == (1, 1)
+
+    def test_strand_limit_respected(self):
+        m_outer, n_outer = optimal_split(1000, 1000, 1, strand_limit=600)
+        import math
+
+        assert math.ceil(1000 / m_outer) + math.ceil(1000 / n_outer) <= 600
+
+    def test_cannot_split_beyond_length(self):
+        m_outer, n_outer = optimal_split(2, 2, 100)
+        assert m_outer <= 2 and n_outer <= 2
+
+
+class TestSplitLengths:
+    def test_sum_preserved(self):
+        assert sum(_split_lengths(17, 4)) == 17
+
+    def test_nearly_equal(self):
+        lens = _split_lengths(17, 4)
+        assert max(lens) - min(lens) <= 1
+
+    def test_clamped_parts(self):
+        assert _split_lengths(2, 5) == [1, 1]
+
+
+class TestHybridGrid:
+    @pytest.mark.parametrize("n_tasks", [1, 2, 4, 6, 9, 16])
+    def test_matches_iterative(self, n_tasks, rng):
+        for _ in range(8):
+            a, b = random_pair(rng, max_len=14)
+            got = hybrid_combing_grid(a, b, n_tasks)
+            assert np.array_equal(got, iterative_combing_rowmajor(a, b)), (n_tasks, a, b)
+
+    def test_callbacks_fire(self, rng):
+        a = random_codes(rng, 16)
+        b = random_codes(rng, 16)
+        leaves, composes = [], []
+        hybrid_combing_grid(
+            a,
+            b,
+            4,
+            on_leaf=lambda m, n: leaves.append((m, n)),
+            on_compose=lambda order: composes.append(order),
+        )
+        assert sum(m * n for m, n in leaves) == 16 * 16
+        assert len(composes) == len(leaves) - 1  # a reduction tree
+
+    def test_rectangular_grids(self, rng):
+        a = random_codes(rng, 5)
+        b = random_codes(rng, 29)
+        got = hybrid_combing_grid(a, b, 8)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+
+    def test_empty(self):
+        assert hybrid_combing_grid([], [], 4).tolist() == []
+
+    @pytest.mark.parametrize("reduction", ["longest-side", "rows-first", "cols-first"])
+    def test_reduction_heuristics_agree(self, reduction, rng):
+        """All compose orders yield the identical kernel (only cost differs)."""
+        for _ in range(6):
+            a, b = random_pair(rng, max_len=16)
+            got = hybrid_combing_grid(a, b, 6, reduction=reduction)
+            assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+
+    def test_unknown_reduction_rejected(self, rng):
+        a, b = random_pair(rng)
+        with pytest.raises(ValueError):
+            hybrid_combing_grid(a, b, 4, reduction="diagonal-first")
+
+    def test_strand_limit_path(self, rng):
+        a = random_codes(rng, 40)
+        b = random_codes(rng, 40)
+        got = hybrid_combing_grid(a, b, 2, strand_limit=30)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))

@@ -1,0 +1,50 @@
+"""Tests for recursive combing (Listing 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combing.iterative import iterative_combing_rowmajor
+from repro.core.combing.recursive import recursive_combing
+from repro.core.dist_matrix import sticky_multiply_dense
+
+from ...conftest import random_codes, random_pair
+
+
+class TestRecursiveCombing:
+    def test_matches_iterative(self, rng):
+        for _ in range(40):
+            a, b = random_pair(rng, max_len=12)
+            assert np.array_equal(
+                recursive_combing(a, b), iterative_combing_rowmajor(a, b)
+            ), (a.tolist(), b.tolist())
+
+    def test_base_cases(self):
+        assert recursive_combing([7], [7]).tolist() == [0, 1]
+        assert recursive_combing([7], [8]).tolist() == [1, 0]
+
+    def test_empty_strings(self):
+        assert recursive_combing([], [1, 2, 3]).tolist() == [0, 1, 2]
+        assert recursive_combing([1, 2], []).tolist() == [0, 1]
+        assert recursive_combing([], []).tolist() == []
+
+    def test_extreme_aspect_ratios(self, rng):
+        a = random_codes(rng, 1)
+        b = random_codes(rng, 20)
+        assert np.array_equal(recursive_combing(a, b), iterative_combing_rowmajor(a, b))
+        assert np.array_equal(recursive_combing(b, a), iterative_combing_rowmajor(b, a))
+
+    def test_custom_multiply(self, rng):
+        a, b = random_pair(rng, max_len=8)
+        got = recursive_combing(a, b, multiply=sticky_multiply_dense)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+
+    def test_accepts_strings(self):
+        got = recursive_combing("banana", "ananas")
+        want = iterative_combing_rowmajor("banana", "ananas")
+        assert np.array_equal(got, want)
+
+    @pytest.mark.parametrize("n", [16, 17, 31, 32, 33])
+    def test_odd_and_power_of_two_sizes(self, n, rng):
+        a = random_codes(rng, n, alphabet=2)
+        b = random_codes(rng, n - 1, alphabet=2)
+        assert np.array_equal(recursive_combing(a, b), iterative_combing_rowmajor(a, b))

@@ -1,0 +1,98 @@
+"""White-box tests for the steady-ant building blocks (_core)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dist_matrix import distribution_matrix, sticky_multiply_dense
+from repro.core.steady_ant._core import combine, split_p, split_q
+
+
+class TestSplitP:
+    def test_partition_by_columns(self, rng):
+        p = rng.permutation(10)
+        p_lo, rows_lo, p_hi, rows_hi = split_p(p, 5)
+        assert sorted(np.concatenate([rows_lo, rows_hi]).tolist()) == list(range(10))
+        assert sorted(p_lo.tolist()) == list(range(5))  # compacted permutation
+        assert sorted(p_hi.tolist()) == list(range(5))
+        # expansion reproduces the original
+        rebuilt = np.empty(10, dtype=np.int64)
+        rebuilt[rows_lo] = p_lo
+        rebuilt[rows_hi] = p_hi + 5
+        assert np.array_equal(rebuilt, p)
+
+    def test_row_order_preserved(self, rng):
+        p = rng.permutation(12)
+        _, rows_lo, _, rows_hi = split_p(p, 6)
+        assert (np.diff(rows_lo) > 0).all()
+        assert (np.diff(rows_hi) > 0).all()
+
+    def test_odd_split_point(self, rng):
+        p = rng.permutation(7)
+        p_lo, rows_lo, p_hi, rows_hi = split_p(p, 3)
+        assert rows_lo.size == 3 and rows_hi.size == 4
+
+
+class TestSplitQ:
+    def test_compaction_is_rank(self, rng):
+        q = rng.permutation(10)
+        q_lo, cols_lo, q_hi, cols_hi = split_q(q, 5)
+        # cols arrays hold the original column values, sorted
+        assert sorted(cols_lo.tolist()) == sorted(q[:5].tolist())
+        assert (np.diff(cols_lo) > 0).all()
+        # compacted entries are the ranks of the original values
+        assert np.array_equal(cols_lo[q_lo], q[:5])
+        assert np.array_equal(cols_hi[q_hi], q[5:])
+
+    def test_halves_are_permutations(self, rng):
+        q = rng.permutation(9)
+        q_lo, _, q_hi, _ = split_q(q, 4)
+        assert sorted(q_lo.tolist()) == list(range(4))
+        assert sorted(q_hi.tolist()) == list(range(5))
+
+
+class TestCombine:
+    def _manual_combine_inputs(self, rng, n):
+        """Produce valid (R_lo, R_hi) pairs by actually running one
+        steady-ant divide step against the dense reference."""
+        p, q = rng.permutation(n), rng.permutation(n)
+        h = n // 2
+        p_lo, rows_lo, p_hi, rows_hi = split_p(p, h)
+        q_lo, cols_lo, q_hi, cols_hi = split_q(q, h)
+        r_lo = sticky_multiply_dense(p_lo, q_lo)
+        r_hi = sticky_multiply_dense(p_hi, q_hi)
+        want = sticky_multiply_dense(p, q)
+        return rows_lo, cols_lo[r_lo], rows_hi, cols_hi[r_hi], n, want
+
+    def test_combine_against_dense(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(2, 50))
+            args = self._manual_combine_inputs(rng, n)
+            got = combine(*args[:5])
+            assert np.array_equal(got, args[5]), n
+
+    def test_combine_crosses_small_path_boundary(self, rng):
+        """n just below/above the pure-Python fast-path threshold (64)."""
+        for n in (62, 63, 64, 65, 66, 120):
+            args = self._manual_combine_inputs(rng, n)
+            got = combine(*args[:5])
+            assert np.array_equal(got, args[5]), n
+
+    def test_combine_output_satisfies_minplus(self, rng):
+        n = 32
+        args = self._manual_combine_inputs(rng, n)
+        got = combine(*args[:5])
+        d = distribution_matrix(got)
+        # spot-check the unit-Monge property at the corners
+        assert d[0, n] == n and d[n, 0] == 0
+
+    def test_identity_times_identity(self):
+        """Splitting the identity and combining must return the identity."""
+        n = 16
+        p = np.arange(n)
+        h = n // 2
+        p_lo, rows_lo, p_hi, rows_hi = split_p(p, h)
+        q_lo, cols_lo, q_hi, cols_hi = split_q(p, h)
+        r_lo = sticky_multiply_dense(p_lo, q_lo)
+        r_hi = sticky_multiply_dense(p_hi, q_hi)
+        got = combine(rows_lo, cols_lo[r_lo], rows_hi, cols_hi[r_hi], n)
+        assert np.array_equal(got, p)

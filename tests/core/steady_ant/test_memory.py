@@ -1,0 +1,74 @@
+"""Tests for the arena allocator and the memory-optimized steady ant."""
+
+import numpy as np
+import pytest
+
+from repro.core.dist_matrix import sticky_multiply_dense
+from repro.core.steady_ant.memory import Arena, arena_capacity_for, steady_ant_memory
+
+
+class TestArena:
+    def test_alloc_views_share_buffer(self):
+        arena = Arena(100)
+        a = arena.alloc(10)
+        b = arena.alloc(10)
+        assert arena.in_use == 20
+        a[:] = 1
+        b[:] = 2
+        assert a.sum() == 10 and b.sum() == 20
+
+    def test_mark_release(self):
+        arena = Arena(100)
+        arena.alloc(10)
+        mark = arena.mark()
+        arena.alloc(50)
+        arena.release(mark)
+        assert arena.in_use == 10
+
+    def test_grows_when_empty(self):
+        arena = Arena(8)
+        view = arena.alloc(1000)
+        assert view.size == 1000
+        assert arena.capacity >= 1000
+
+    def test_overflow_when_live(self):
+        arena = Arena(8)
+        arena.alloc(8)
+        with pytest.raises(MemoryError):
+            arena.alloc(64)
+
+    def test_minimum_capacity(self):
+        assert Arena(1).capacity >= 64
+
+
+class TestMemoryVariant:
+    def test_matches_dense(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(1, 40))
+            p, q = rng.permutation(n), rng.permutation(n)
+            assert np.array_equal(steady_ant_memory(p, q), sticky_multiply_dense(p, q))
+
+    def test_arena_reuse_across_calls(self, rng):
+        arena = Arena(arena_capacity_for(64))
+        for _ in range(5):
+            n = int(rng.integers(2, 64))
+            p, q = rng.permutation(n), rng.permutation(n)
+            got = steady_ant_memory(p, q, arena=arena)
+            assert np.array_equal(got, sticky_multiply_dense(p, q))
+            assert arena.in_use == 0  # fully released after each call
+
+    def test_result_detached_from_arena(self, rng):
+        arena = Arena(arena_capacity_for(32))
+        p, q = rng.permutation(32), rng.permutation(32)
+        first = steady_ant_memory(p, q, arena=arena)
+        snapshot = first.copy()
+        steady_ant_memory(rng.permutation(32), rng.permutation(32), arena=arena)
+        assert np.array_equal(first, snapshot)  # not clobbered by reuse
+
+    def test_capacity_bound_is_sufficient(self, rng):
+        """The documented worst-case bound must hold for adversarial sizes."""
+        for n in (3, 7, 17, 63, 129, 255):
+            p, q = rng.permutation(n), rng.permutation(n)
+            arena = Arena(arena_capacity_for(n))
+            got = steady_ant_memory(p, q, arena=arena)
+            assert sorted(got.tolist()) == list(range(n))

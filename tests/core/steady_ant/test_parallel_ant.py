@@ -1,0 +1,58 @@
+"""Tests for the task-parallel steady ant (Listing 5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dist_matrix import sticky_multiply_dense
+from repro.core.steady_ant.parallel import steady_ant_parallel
+from repro.parallel import SerialMachine, SimulatedMachine
+
+
+class TestParallelSteadyAnt:
+    @pytest.mark.parametrize("depth", [0, 1, 2, 3, 5])
+    def test_matches_dense_any_depth(self, depth, rng):
+        for _ in range(15):
+            n = int(rng.integers(1, 50))
+            p, q = rng.permutation(n), rng.permutation(n)
+            got = steady_ant_parallel(p, q, machine=SimulatedMachine(workers=4), depth=depth)
+            assert np.array_equal(got, sticky_multiply_dense(p, q)), (n, depth)
+
+    def test_default_machine_and_depth(self, rng):
+        p, q = rng.permutation(37), rng.permutation(37)
+        got = steady_ant_parallel(p, q)
+        assert np.array_equal(got, sticky_multiply_dense(p, q))
+
+    def test_depth_deeper_than_log_n(self, rng):
+        """Degenerate size-1 leaves must survive over-deep expansion."""
+        p, q = rng.permutation(5), rng.permutation(5)
+        got = steady_ant_parallel(p, q, machine=SimulatedMachine(workers=2), depth=6)
+        assert np.array_equal(got, sticky_multiply_dense(p, q))
+
+    def test_task_counts(self, rng):
+        p, q = rng.permutation(64), rng.permutation(64)
+        machine = SimulatedMachine(workers=4)
+        steady_ant_parallel(p, q, machine=machine, depth=3)
+        # 8 leaf tasks + (4 + 2 + 1) combine tasks
+        assert machine.tasks == 8 + 7
+        # 1 leaf round + 3 combine rounds
+        assert machine.rounds == 4
+
+    def test_more_workers_not_slower_simulated(self, rng):
+        n = 3000
+        p, q = rng.permutation(n), rng.permutation(n)
+        t1 = SimulatedMachine(workers=1)
+        steady_ant_parallel(p, q, machine=t1, depth=3)
+        t8 = SimulatedMachine(workers=8)
+        steady_ant_parallel(p, q, machine=t8, depth=3)
+        assert t8.elapsed <= t1.elapsed * 1.2  # allow timing noise
+
+    def test_serial_machine(self, rng):
+        p, q = rng.permutation(20), rng.permutation(20)
+        got = steady_ant_parallel(p, q, machine=SerialMachine(), depth=2)
+        assert np.array_equal(got, sticky_multiply_dense(p, q))
+
+    def test_shape_mismatch(self):
+        from repro.errors import ShapeMismatchError
+
+        with pytest.raises(ShapeMismatchError):
+            steady_ant_parallel(np.arange(3), np.arange(4))

@@ -1,0 +1,92 @@
+"""Tests for all steady-ant implementations against the dense reference."""
+
+import numpy as np
+import pytest
+
+from repro.core.dist_matrix import sticky_multiply_dense
+from repro.core.steady_ant import (
+    steady_ant_combined,
+    steady_ant_memory,
+    steady_ant_precalc,
+    steady_ant_sequential,
+    sticky_multiply_quadratic,
+)
+from repro.errors import ShapeMismatchError
+
+FAST_VARIANTS = [
+    steady_ant_sequential,
+    steady_ant_precalc,
+    steady_ant_memory,
+    steady_ant_combined,
+    sticky_multiply_quadratic,
+]
+
+
+@pytest.mark.parametrize("multiply", FAST_VARIANTS, ids=lambda f: f.__name__)
+class TestAgainstDense:
+    def test_random_small(self, multiply, rng):
+        for _ in range(60):
+            n = int(rng.integers(1, 24))
+            p, q = rng.permutation(n), rng.permutation(n)
+            want = sticky_multiply_dense(p, q)
+            assert np.array_equal(multiply(p, q), want), (n, p.tolist(), q.tolist())
+
+    def test_random_medium(self, multiply, rng):
+        for n in (64, 65, 127, 200):
+            p, q = rng.permutation(n), rng.permutation(n)
+            assert np.array_equal(multiply(p, q), sticky_multiply_dense(p, q)), n
+
+    def test_identity_neutral(self, multiply, rng):
+        p = rng.permutation(33)
+        ident = np.arange(33)
+        assert np.array_equal(multiply(ident, p), p)
+        assert np.array_equal(multiply(p, ident), p)
+
+    def test_reverse_absorbing(self, multiply):
+        rev = np.arange(17)[::-1].copy()
+        assert np.array_equal(multiply(rev, rev), rev)
+
+    def test_trivial_orders(self, multiply):
+        assert multiply(np.array([0]), np.array([0])).tolist() == [0]
+
+    def test_order_mismatch(self, multiply):
+        with pytest.raises(ShapeMismatchError):
+            multiply(np.arange(3), np.arange(4))
+
+
+class TestAlgebraicProperties:
+    def test_associativity(self, rng):
+        for _ in range(15):
+            n = int(rng.integers(2, 40))
+            p, q, r = rng.permutation(n), rng.permutation(n), rng.permutation(n)
+            left = steady_ant_combined(steady_ant_combined(p, q), r)
+            right = steady_ant_combined(p, steady_ant_combined(q, r))
+            assert np.array_equal(left, right)
+
+    def test_idempotent_when_sorted_already(self, rng):
+        """x ⊙ x has no general idempotence, but identity does."""
+        ident = np.arange(12)
+        assert np.array_equal(steady_ant_combined(ident, ident), ident)
+
+    def test_result_always_permutation(self, rng):
+        for _ in range(40):
+            n = int(rng.integers(1, 60))
+            p, q = rng.permutation(n), rng.permutation(n)
+            r = steady_ant_combined(p, q)
+            assert sorted(r.tolist()) == list(range(n))
+
+    def test_sticky_vs_plain_composition_bound(self, rng):
+        """The sticky product never has more inversions than the inputs'
+        inversion counts combined (crossings only cancel)."""
+
+        def inversions(perm):
+            perm = np.asarray(perm)
+            return sum(
+                int((perm[i + 1 :] < perm[i]).sum()) for i in range(perm.size - 1)
+            )
+
+        for _ in range(10):
+            n = int(rng.integers(2, 25))
+            p, q = rng.permutation(n), rng.permutation(n)
+            r = steady_ant_combined(p, q)
+            assert inversions(r) <= inversions(p) + inversions(q)

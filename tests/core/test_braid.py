@@ -1,0 +1,81 @@
+"""Tests for the explicit sticky-braid model (Fig. 1 machinery)."""
+
+import numpy as np
+
+from repro.core.braid import StickyBraid
+from repro.core.combing.iterative import iterative_combing_rowmajor
+
+from ..conftest import random_pair
+
+
+class TestStickyBraid:
+    def test_kernel_matches_combing(self, rng):
+        for _ in range(20):
+            a, b = random_pair(rng, max_len=8)
+            braid = StickyBraid(a, b)
+            assert np.array_equal(braid.kernel, iterative_combing_rowmajor(a, b))
+
+    def test_always_reduced(self, rng):
+        """Iterative combing's invariant: every pair crosses at most once."""
+        for _ in range(30):
+            a, b = random_pair(rng, max_len=10, alphabet=2)
+            assert StickyBraid(a, b).is_reduced()
+
+    def test_identical_strings_no_crossings_on_diagonal(self):
+        braid = StickyBraid("aaa", "aaa")
+        # all cells match: no crossings at all
+        assert braid.crossing_count == 0
+
+    def test_disjoint_alphabets_max_crossings(self):
+        m, n = 3, 4
+        braid = StickyBraid("aaa", "bbbb")
+        # no matches: every h strand crosses every v strand exactly once
+        assert braid.crossing_count == m * n
+
+    def test_trajectories_cover_grid(self, rng):
+        a, b = random_pair(rng, max_len=6)
+        braid = StickyBraid(a, b)
+        visited = set()
+        for cells in braid.trajectories:
+            visited.update(cells)
+        assert visited == {(i, j) for i in range(len(a)) for j in range(len(b))}
+
+    def test_each_cell_visited_by_two_strands(self, rng):
+        a, b = random_pair(rng, max_len=5)
+        braid = StickyBraid(a, b)
+        counts: dict = {}
+        for cells in braid.trajectories:
+            for c in cells:
+                counts[c] = counts.get(c, 0) + 1
+        assert all(v == 2 for v in counts.values())
+
+    def test_decisions_count(self, rng):
+        a, b = random_pair(rng, max_len=5)
+        assert len(StickyBraid(a, b).decisions) == len(a) * len(b)
+
+    def test_match_cells_never_cross(self, rng):
+        a, b = random_pair(rng, max_len=8, alphabet=2)
+        for d in StickyBraid(a, b).decisions:
+            if d.match:
+                assert not d.crossed
+
+
+class TestRendering:
+    def test_ascii_grid_shape(self):
+        grid = StickyBraid("ab", "cab").ascii_grid().splitlines()
+        assert len(grid) == 2
+        assert all(len(row) == 3 for row in grid)
+
+    def test_ascii_symbols(self):
+        grid = StickyBraid("a", "ab").ascii_grid()
+        # cell (0,0) is a match -> 'o'; cell (0,1) mismatch after... 'X' or '.'
+        assert grid[0] == "o"
+
+    def test_svg_well_formed(self):
+        svg = StickyBraid("ab", "ba").to_svg()
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert svg.count("<path") == 4  # one trajectory per strand
+
+    def test_repr(self):
+        assert "reduced=True" in repr(StickyBraid("ab", "ba"))

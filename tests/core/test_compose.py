@@ -1,0 +1,113 @@
+"""Tests for kernel composition (Theorem 3.4) and the flip (Theorem 3.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.combing.iterative import iterative_combing_rowmajor as comb
+from repro.core.compose import (
+    compose_horizontal,
+    compose_vertical,
+    dsum_identity_first,
+    dsum_identity_last,
+    flip_kernel,
+)
+from repro.core.dist_matrix import sticky_multiply_dense
+from repro.errors import ShapeMismatchError
+
+from ..conftest import random_codes
+
+
+class TestFlip:
+    def test_flip_is_rotation(self, rng):
+        for _ in range(30):
+            a = random_codes(rng, int(rng.integers(1, 9)))
+            b = random_codes(rng, int(rng.integers(1, 9)))
+            assert np.array_equal(flip_kernel(comb(b, a)), comb(a, b))
+
+    def test_flip_involution(self, rng):
+        k = comb(random_codes(rng, 5), random_codes(rng, 7))
+        assert np.array_equal(flip_kernel(flip_kernel(k)), k)
+
+
+class TestDirectSums:
+    def test_identity_first(self):
+        assert dsum_identity_first(2, np.array([1, 0])).tolist() == [0, 1, 3, 2]
+
+    def test_identity_last(self):
+        assert dsum_identity_last(np.array([1, 0]), 2).tolist() == [1, 0, 2, 3]
+
+    def test_zero_identity(self):
+        assert dsum_identity_first(0, np.array([0])).tolist() == [0]
+        assert dsum_identity_last(np.array([0]), 0).tolist() == [0]
+
+
+class TestComposeVertical:
+    def test_matches_direct_combing(self, rng):
+        for _ in range(40):
+            m1 = int(rng.integers(1, 7))
+            m2 = int(rng.integers(1, 7))
+            n = int(rng.integers(1, 8))
+            a1 = random_codes(rng, m1)
+            a2 = random_codes(rng, m2)
+            b = random_codes(rng, n)
+            got = compose_vertical(
+                comb(a1, b), comb(a2, b), m1, m2, n, multiply=sticky_multiply_dense
+            )
+            want = comb(np.concatenate([a1, a2]), b)
+            assert np.array_equal(got, want), (a1, a2, b)
+
+    def test_default_multiply_is_steady_ant(self, rng):
+        a1 = random_codes(rng, 4)
+        a2 = random_codes(rng, 3)
+        b = random_codes(rng, 5)
+        got = compose_vertical(comb(a1, b), comb(a2, b), 4, 3, 5)
+        assert np.array_equal(got, comb(np.concatenate([a1, a2]), b))
+
+    def test_shape_check(self):
+        with pytest.raises(ShapeMismatchError):
+            compose_vertical(np.arange(3), np.arange(3), 2, 2, 2)
+
+
+class TestComposeHorizontal:
+    def test_matches_direct_combing(self, rng):
+        for _ in range(40):
+            m = int(rng.integers(1, 7))
+            n1 = int(rng.integers(1, 7))
+            n2 = int(rng.integers(1, 7))
+            a = random_codes(rng, m)
+            b1 = random_codes(rng, n1)
+            b2 = random_codes(rng, n2)
+            got = compose_horizontal(
+                comb(a, b1), comb(a, b2), m, n1, n2, multiply=sticky_multiply_dense
+            )
+            want = comb(a, np.concatenate([b1, b2]))
+            assert np.array_equal(got, want), (a, b1, b2)
+
+    def test_empty_halves(self, rng):
+        # composing with an empty b-half must be the identity operation
+        a = random_codes(rng, 4)
+        b = random_codes(rng, 5)
+        got = compose_horizontal(comb(a, b), comb(a, b[:0]), 4, 5, 0)
+        assert np.array_equal(got, comb(a, b))
+
+
+class TestChainedComposition:
+    def test_three_way_split(self, rng):
+        """Composition is associative across a 3-way split of a."""
+        parts = [random_codes(rng, int(rng.integers(1, 5))) for _ in range(3)]
+        b = random_codes(rng, 6)
+        k01 = compose_vertical(
+            comb(parts[0], b), comb(parts[1], b), len(parts[0]), len(parts[1]), 6
+        )
+        left_first = compose_vertical(
+            k01, comb(parts[2], b), len(parts[0]) + len(parts[1]), len(parts[2]), 6
+        )
+        k12 = compose_vertical(
+            comb(parts[1], b), comb(parts[2], b), len(parts[1]), len(parts[2]), 6
+        )
+        right_first = compose_vertical(
+            comb(parts[0], b), k12, len(parts[0]), len(parts[1]) + len(parts[2]), 6
+        )
+        want = comb(np.concatenate(parts), b)
+        assert np.array_equal(left_first, want)
+        assert np.array_equal(right_first, want)

@@ -1,0 +1,132 @@
+"""Tests for distribution matrices and the dense sticky product."""
+
+import numpy as np
+import pytest
+
+from repro.core.dist_matrix import (
+    distribution_matrix,
+    dominance_count,
+    is_monge,
+    is_unit_monge_distribution,
+    minplus_multiply,
+    permutation_from_distribution,
+    sticky_multiply_dense,
+)
+from repro.errors import InvalidPermutationError, ShapeMismatchError
+
+
+class TestDistributionMatrix:
+    def test_identity_2(self):
+        d = distribution_matrix(np.array([0, 1]))
+        # d[i, j] = #{r >= i, p[r] < j}
+        assert d.tolist() == [[0, 1, 2], [0, 0, 1], [0, 0, 0]]
+
+    def test_empty(self):
+        assert distribution_matrix(np.array([], dtype=int)).shape == (1, 1)
+
+    def test_boundaries(self, rng):
+        p = rng.permutation(13)
+        d = distribution_matrix(p)
+        assert (d[:, 0] == 0).all()
+        assert (d[-1, :] == 0).all()
+        assert d[0, -1] == 13
+
+    def test_roundtrip(self, rng):
+        for n in (1, 2, 5, 16, 33):
+            p = rng.permutation(n)
+            assert np.array_equal(permutation_from_distribution(distribution_matrix(p)), p)
+
+    def test_reject_non_unit_monge(self):
+        bad = np.array([[0, 2], [0, 0]])
+        with pytest.raises(InvalidPermutationError):
+            permutation_from_distribution(bad)
+
+    def test_reject_non_square(self):
+        with pytest.raises(ShapeMismatchError):
+            permutation_from_distribution(np.zeros((2, 3), dtype=int))
+
+
+class TestMinPlus:
+    def test_small(self):
+        a = np.array([[0, 1], [2, 0]])
+        b = np.array([[5, 1], [0, 3]])
+        c = minplus_multiply(a, b)
+        # c[0,0] = min(0+5, 1+0) = 1
+        assert c[0, 0] == 1
+        assert c[1, 1] == 3
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            minplus_multiply(np.zeros((2, 2)), np.zeros((3, 3)))
+
+    def test_identity_distribution_is_neutral(self, rng):
+        n = 9
+        p = rng.permutation(n)
+        ident = distribution_matrix(np.arange(n))
+        dp = distribution_matrix(p)
+        assert np.array_equal(minplus_multiply(ident, dp), dp)
+        assert np.array_equal(minplus_multiply(dp, ident), dp)
+
+
+class TestStickyMultiply:
+    def test_identity_neutral(self, rng):
+        p = rng.permutation(11)
+        ident = np.arange(11)
+        assert np.array_equal(sticky_multiply_dense(ident, p), p)
+        assert np.array_equal(sticky_multiply_dense(p, ident), p)
+
+    def test_result_is_permutation(self, rng):
+        for _ in range(20):
+            n = int(rng.integers(1, 20))
+            p, q = rng.permutation(n), rng.permutation(n)
+            r = sticky_multiply_dense(p, q)
+            assert sorted(r.tolist()) == list(range(n))
+
+    def test_idempotent_on_reverse(self):
+        # the "zero braid" (full reversal) is absorbing: w0 * w0 = w0
+        rev = np.arange(5)[::-1].copy()
+        assert np.array_equal(sticky_multiply_dense(rev, rev), rev)
+
+    def test_associative(self, rng):
+        for _ in range(10):
+            n = int(rng.integers(1, 12))
+            p, q, r = rng.permutation(n), rng.permutation(n), rng.permutation(n)
+            left = sticky_multiply_dense(sticky_multiply_dense(p, q), r)
+            right = sticky_multiply_dense(p, sticky_multiply_dense(q, r))
+            assert np.array_equal(left, right)
+
+    def test_mismatched_orders(self):
+        with pytest.raises(ShapeMismatchError):
+            sticky_multiply_dense(np.array([0]), np.array([0, 1]))
+
+
+class TestMongeCheckers:
+    def test_is_monge_true(self, rng):
+        p = rng.permutation(8)
+        assert is_monge(distribution_matrix(p))
+
+    def test_is_monge_false(self):
+        assert not is_monge(np.array([[0, 1], [1, 0]]) * -1 + np.array([[1, 0], [0, 1]]) * 5)
+
+    def test_trivial_sizes(self):
+        assert is_monge(np.zeros((1, 5)))
+
+    def test_unit_monge_accepts_distribution(self, rng):
+        assert is_unit_monge_distribution(distribution_matrix(rng.permutation(7)))
+
+    def test_unit_monge_rejects_garbage(self):
+        assert not is_unit_monge_distribution(np.ones((3, 3), dtype=int))
+
+
+class TestDominanceCount:
+    def test_matches_definition(self, rng):
+        p = rng.permutation(10)
+        d = distribution_matrix(p)
+        for i in range(11):
+            for j in range(11):
+                assert dominance_count(p, i, j) == d[i, j]
+
+    def test_clamping(self, rng):
+        p = rng.permutation(5)
+        assert dominance_count(p, -3, 99) == 5
+        assert dominance_count(p, 99, 99) == 0

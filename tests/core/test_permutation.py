@@ -1,0 +1,126 @@
+"""Tests for the compressed-row Permutation class."""
+
+import numpy as np
+import pytest
+
+from repro.core.permutation import (
+    Permutation,
+    identity_permutation,
+    random_permutation,
+    validate_permutation,
+)
+from repro.errors import InvalidPermutationError, ShapeMismatchError
+
+
+class TestValidation:
+    def test_valid(self):
+        validate_permutation(np.array([2, 0, 1]))
+
+    def test_out_of_range(self):
+        with pytest.raises(InvalidPermutationError):
+            validate_permutation(np.array([0, 3]))
+
+    def test_negative(self):
+        with pytest.raises(InvalidPermutationError):
+            validate_permutation(np.array([-1, 0]))
+
+    def test_duplicate(self):
+        with pytest.raises(InvalidPermutationError):
+            validate_permutation(np.array([1, 1, 0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(InvalidPermutationError):
+            validate_permutation(np.zeros((2, 2), dtype=int))
+
+    def test_empty_ok(self):
+        validate_permutation(np.array([], dtype=np.int64))
+
+
+class TestBasics:
+    def test_call_and_inverse(self):
+        p = Permutation([2, 0, 1])
+        assert p(0) == 2
+        assert p.inverse()(2) == 0
+        assert p.inverse().inverse() == p
+
+    def test_identity(self):
+        p = Permutation.identity(4)
+        assert p.rows_to_cols.tolist() == [0, 1, 2, 3]
+
+    def test_reverse(self):
+        p = Permutation.reverse(3)
+        assert p.rows_to_cols.tolist() == [2, 1, 0]
+
+    def test_len_iter(self):
+        p = Permutation([1, 0])
+        assert len(p) == 2
+        assert list(p) == [1, 0]
+
+    def test_nonzeros(self):
+        assert Permutation([1, 0]).nonzeros() == [(0, 1), (1, 0)]
+
+    def test_from_nonzeros(self):
+        p = Permutation.from_nonzeros([(0, 1), (1, 0)], 2)
+        assert p.rows_to_cols.tolist() == [1, 0]
+
+    def test_from_nonzeros_duplicate_row(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation.from_nonzeros([(0, 1), (0, 0)], 2)
+
+    def test_from_nonzeros_missing_row(self):
+        with pytest.raises(InvalidPermutationError):
+            Permutation.from_nonzeros([(0, 1)], 2)
+
+    def test_immutability(self):
+        p = Permutation([0, 1])
+        with pytest.raises(ValueError):
+            p.rows_to_cols[0] = 1
+
+    def test_repr_truncates(self):
+        p = Permutation.identity(20)
+        assert "..." in repr(p)
+
+    def test_hash_eq(self):
+        assert hash(Permutation([1, 0])) == hash(Permutation([1, 0]))
+        assert Permutation([1, 0]) != Permutation([0, 1])
+        assert Permutation([1, 0]) != "not a permutation"
+
+
+class TestAlgebra:
+    def test_compose_plain(self):
+        p = Permutation([1, 2, 0])
+        q = Permutation([2, 0, 1])
+        r = p.compose_plain(q)
+        for i in range(3):
+            assert r(i) == q(p(i))
+
+    def test_compose_mismatched(self):
+        with pytest.raises(ShapeMismatchError):
+            Permutation([0]).compose_plain(Permutation([0, 1]))
+
+    def test_rotate180(self):
+        p = Permutation([1, 2, 0])
+        r = p.rotate180()
+        dense = p.to_dense()
+        assert np.array_equal(r.to_dense(), dense[::-1, ::-1])
+
+    def test_rotate180_involution(self, rng):
+        p = random_permutation(rng, 17)
+        assert p.rotate180().rotate180() == p
+
+    def test_to_dense(self):
+        d = Permutation([1, 0]).to_dense()
+        assert d.tolist() == [[0, 1], [1, 0]]
+
+    def test_inverse_matches_cols_to_rows(self, rng):
+        p = random_permutation(rng, 31)
+        assert np.array_equal(p.inverse().rows_to_cols, p.cols_to_rows)
+
+
+def test_identity_permutation_helper():
+    assert identity_permutation(3).tolist() == [0, 1, 2]
+
+
+def test_random_permutation_is_valid(rng):
+    p = random_permutation(rng, 100)
+    validate_permutation(p.rows_to_cols)

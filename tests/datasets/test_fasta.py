@@ -1,0 +1,41 @@
+"""Tests for FASTA I/O."""
+
+import pytest
+
+from repro.datasets.fasta import read_fasta, write_fasta
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        records = [("seq1 description", "ACGT" * 30), ("seq2", "TTTT")]
+        path = tmp_path / "x.fasta"
+        write_fasta(path, records)
+        assert list(read_fasta(path)) == records
+
+    def test_wrapping(self, tmp_path):
+        path = tmp_path / "w.fasta"
+        write_fasta(path, [("s", "A" * 100)], width=10)
+        lines = path.read_text().splitlines()
+        assert lines[0] == ">s"
+        assert all(len(l) == 10 for l in lines[1:])
+
+    def test_lowercase_normalized(self, tmp_path):
+        path = tmp_path / "l.fasta"
+        path.write_text(">s\nacgt\n")
+        assert list(read_fasta(path)) == [("s", "ACGT")]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "b.fasta"
+        path.write_text(">s\nAC\n\nGT\n")
+        assert list(read_fasta(path)) == [("s", "ACGT")]
+
+    def test_data_before_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.fasta"
+        path.write_text("ACGT\n>s\nAC\n")
+        with pytest.raises(ValueError):
+            list(read_fasta(path))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "e.fasta"
+        path.write_text("")
+        assert list(read_fasta(path)) == []

@@ -1,0 +1,78 @@
+"""Tests for the virus-genome simulator (the NCBI-dataset substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.apps.genome_similarity import lcs_distance
+from repro.datasets.genomes import VIRUS_PRESETS, GenomeSimulator, virus_pair
+
+
+class TestSimulator:
+    def test_ancestor_alphabet(self):
+        g = GenomeSimulator(seed=1).ancestor(500)
+        assert set(np.unique(g).tolist()) <= {0, 1, 2, 3}
+
+    def test_deterministic(self):
+        a1, _ = virus_pair("phage-ms2", seed=9)
+        a2, _ = virus_pair("phage-ms2", seed=9)
+        assert np.array_equal(a1, a2)
+
+    def test_mutation_changes_sequence(self):
+        sim = GenomeSimulator(seed=2)
+        g = sim.ancestor(2000)
+        assert not np.array_equal(g, sim.mutate(g))
+
+    def test_mutation_rate_scale(self):
+        sim = GenomeSimulator(seed=3, substitution_rate=0.01, indel_rate=0.0)
+        g = sim.ancestor(50_000)
+        mutated = sim.mutate(g)
+        frac = (g != mutated).mean()
+        assert 0.005 < frac < 0.02
+
+    def test_indels_change_length_sometimes(self):
+        sim = GenomeSimulator(seed=4, substitution_rate=0.0, indel_rate=0.01)
+        g = sim.ancestor(10_000)
+        lengths = {len(sim.mutate(g)) for _ in range(5)}
+        assert lengths != {10_000}
+
+    def test_recombine_length_bounds(self):
+        sim = GenomeSimulator(seed=5)
+        x, y = sim.ancestor(100), sim.ancestor(200)
+        r = sim.recombine(x, y)
+        assert 0 <= len(r) <= 300
+
+
+class TestStrainRealism:
+    def test_related_strains_are_similar(self):
+        """Strains from one ancestor must be far more similar than random
+        sequences — the property the benchmarks depend on."""
+        a, b = virus_pair("phage-ms2", seed=0)
+        related = lcs_distance(a, b)
+        rng = np.random.default_rng(0)
+        r1 = rng.integers(0, 4, size=len(a))
+        r2 = rng.integers(0, 4, size=len(b))
+        unrelated = lcs_distance(r1, r2)
+        assert related < 0.15
+        assert unrelated > 0.2
+
+    def test_strains_count_and_scale(self):
+        sim = GenomeSimulator(seed=1)
+        strains = sim.strains(3_000, 4, generations=2)
+        assert len(strains) == 4
+        for s in strains:
+            assert abs(len(s) - 3_000) < 300
+
+    def test_preset_lengths(self):
+        for preset, length in VIRUS_PRESETS.items():
+            a, b = virus_pair(preset, seed=1, generations=1)
+            assert abs(len(a) - length) < max(200, length // 20), preset
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            virus_pair("not-a-virus")
+
+    def test_fasta_records(self):
+        sim = GenomeSimulator(seed=2)
+        recs = sim.to_fasta_records(sim.strains(100, 2), prefix="x")
+        assert [h for h, _ in recs] == ["x-000", "x-001"]
+        assert all(set(s) <= set("ACGT") for _, s in recs)

@@ -1,0 +1,54 @@
+"""Tests for the synthetic string generators."""
+
+import numpy as np
+
+from repro.datasets.synthetic import (
+    binary_pair,
+    binary_string,
+    expected_zero_fraction,
+    synthetic_pair,
+    synthetic_string,
+)
+
+
+class TestSynthetic:
+    def test_deterministic_by_seed(self):
+        a1 = synthetic_string(100, sigma=1.0, seed=5)
+        a2 = synthetic_string(100, sigma=1.0, seed=5)
+        assert np.array_equal(a1, a2)
+
+    def test_pair_lengths(self):
+        a, b = synthetic_pair(50, 70, seed=1)
+        assert len(a) == 50 and len(b) == 70
+
+    def test_pair_defaults_square(self):
+        a, b = synthetic_pair(30, seed=2)
+        assert len(a) == len(b) == 30
+
+    def test_pair_independent(self):
+        a, b = synthetic_pair(2000, sigma=4.0, seed=3)
+        assert not np.array_equal(a, b)
+
+    def test_sigma_zero_fraction(self):
+        s = synthetic_string(100_000, sigma=1.0, seed=7)
+        measured = (s == 0).mean()
+        assert abs(measured - expected_zero_fraction(1.0)) < 0.01
+
+    def test_expected_zero_fraction_paper_value(self):
+        # paper: ~0.683 for sigma = 1
+        assert abs(expected_zero_fraction(1.0) - 0.683) < 0.001
+
+
+class TestBinary:
+    def test_alphabet(self):
+        s = binary_string(1000, seed=1)
+        assert set(np.unique(s).tolist()) <= {0, 1}
+
+    def test_bias(self):
+        s = binary_string(100_000, p_one=0.9, seed=2)
+        assert 0.88 < s.mean() < 0.92
+
+    def test_pair(self):
+        a, b = binary_pair(100, 200, seed=0)
+        assert len(a) == 100 and len(b) == 200
+        assert set(np.unique(np.concatenate([a, b])).tolist()) <= {0, 1}

@@ -1,0 +1,66 @@
+"""Tests for SMAWK-based (min,+) Monge multiplication."""
+
+import numpy as np
+import pytest
+
+from repro.core.dist_matrix import (
+    distribution_matrix,
+    is_monge,
+    minplus_multiply,
+    permutation_from_distribution,
+)
+from repro.errors import ShapeMismatchError
+from repro.monge.multiply import minplus_multiply_monge, random_monge
+
+
+class TestMongeMultiply:
+    def test_matches_naive_on_random_monge(self, rng):
+        for _ in range(25):
+            p = int(rng.integers(1, 15))
+            q = int(rng.integers(1, 15))
+            r = int(rng.integers(1, 15))
+            a = random_monge(rng, p, q)
+            b = random_monge(rng, q, r)
+            got = minplus_multiply_monge(a, b)
+            want = minplus_multiply(a, b)
+            assert np.array_equal(got, want)
+
+    def test_product_is_monge(self, rng):
+        a = random_monge(rng, 10, 8)
+        b = random_monge(rng, 8, 12)
+        assert is_monge(minplus_multiply_monge(a, b))
+
+    def test_distribution_matrices_are_supported(self, rng):
+        """Unit-Monge inputs: the product must equal the sticky product's
+        distribution matrix — connecting the general-Monge machinery to
+        the braid world."""
+        from repro.core.steady_ant import steady_ant_combined
+
+        for n in (4, 9, 16):
+            p, q = rng.permutation(n), rng.permutation(n)
+            dp, dq = distribution_matrix(p), distribution_matrix(q)
+            prod = minplus_multiply_monge(dp, dq)
+            want_perm = steady_ant_combined(p, q)
+            assert np.array_equal(permutation_from_distribution(prod), want_perm)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeMismatchError):
+            minplus_multiply_monge(np.zeros((2, 3)), np.zeros((4, 2)))
+
+    def test_identity_like(self, rng):
+        """Adding a zero row/col potential leaves minima structure intact."""
+        a = random_monge(rng, 6, 6)
+        b = np.zeros((6, 6), dtype=np.int64)  # Monge (all mixed diffs 0)
+        got = minplus_multiply_monge(a, b)
+        want = a.min(axis=1, keepdims=True) + np.zeros((1, 6), dtype=np.int64)
+        assert np.array_equal(got, want)
+
+
+class TestRandomMonge:
+    def test_always_monge(self, rng):
+        for _ in range(30):
+            m = random_monge(rng, int(rng.integers(1, 25)), int(rng.integers(1, 25)))
+            assert is_monge(m)
+
+    def test_shapes(self, rng):
+        assert random_monge(rng, 3, 7).shape == (3, 7)

@@ -1,0 +1,84 @@
+"""Tests for the BSP cost model."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.bsp import BSPCostModel, Superstep, _assign, bsp_cost_of_steady_ant
+
+
+class TestSuperstep:
+    def test_w_and_h(self):
+        s = Superstep("x", (1.0, 3.0, 2.0), (10, 5, 20))
+        assert s.w == 3.0
+        assert s.h == 20
+
+    def test_empty(self):
+        s = Superstep("x", (), ())
+        assert s.w == 0.0 and s.h == 0
+
+
+class TestCostModel:
+    def test_cost_formula(self):
+        m = BSPCostModel(p=2)
+        m.record("a", [1.0, 2.0], [100, 50])
+        m.record("b", [0.5, 0.5], [10, 10])
+        # cost = sum_s (w_s + g*h_s + l)
+        assert m.cost(g=0.0, l=0.0) == pytest.approx(2.5)
+        assert m.cost(g=0.01, l=0.0) == pytest.approx(2.5 + 1.0 + 0.1)
+        assert m.cost(g=0.0, l=1.0) == pytest.approx(4.5)
+
+    def test_summary_fields(self):
+        m = BSPCostModel(p=4)
+        m.record("a", [1.0], [7])
+        s = m.summary()
+        assert s["p"] == 4
+        assert s["supersteps"] == 1
+        assert s["max_h_relation_words"] == 7
+
+
+class TestAssign:
+    def test_all_tasks_assigned(self):
+        buckets = _assign([5.0, 1.0, 3.0, 2.0], 2)
+        assert sorted(k for b in buckets for k in b) == [0, 1, 2, 3]
+
+    def test_lpt_balance(self):
+        buckets = _assign([4.0, 3.0, 2.0, 1.0], 2)
+        loads = [sum([4.0, 3.0, 2.0, 1.0][k] for k in b) for b in buckets]
+        assert max(loads) == 5.0  # perfect LPT split
+
+
+class TestSteadyAntProfile:
+    def test_profile_structure(self, rng):
+        p, q = rng.permutation(256), rng.permutation(256)
+        model = bsp_cost_of_steady_ant(p, q, processors=4, depth=3)
+        # scatter + leaves + 3 combine levels
+        assert model.sync_count == 5
+        assert model.supersteps[0].label == "scatter"
+        assert model.supersteps[1].label == "leaves"
+        assert model.total_words > 0
+        assert model.critical_work > 0
+
+    def test_communication_volume_scales_with_n(self, rng):
+        small = bsp_cost_of_steady_ant(rng.permutation(128), rng.permutation(128), 4, 2)
+        large = bsp_cost_of_steady_ant(rng.permutation(1024), rng.permutation(1024), 4, 2)
+        assert large.total_words > small.total_words
+
+    def test_more_depth_more_supersteps(self, rng):
+        p, q = rng.permutation(200), rng.permutation(200)
+        d2 = bsp_cost_of_steady_ant(p, q, 4, 2)
+        d4 = bsp_cost_of_steady_ant(p, q, 4, 4)
+        assert d4.sync_count == d2.sync_count + 2
+
+    def test_latency_penalizes_depth(self, rng):
+        """With a huge barrier latency, shallow depth must win — the
+        tradeoff behind Fig. 4b."""
+        p, q = rng.permutation(512), rng.permutation(512)
+        shallow = bsp_cost_of_steady_ant(p, q, 8, 1)
+        deep = bsp_cost_of_steady_ant(p, q, 8, 6)
+        big_l = 10.0
+        assert shallow.cost(g=0.0, l=big_l) < deep.cost(g=0.0, l=big_l)
+
+    def test_cost_at_zero_overheads_close_to_critical_path(self, rng):
+        p, q = rng.permutation(300), rng.permutation(300)
+        model = bsp_cost_of_steady_ant(p, q, 4, 2)
+        assert model.cost(0.0, 0.0) == pytest.approx(model.critical_work)

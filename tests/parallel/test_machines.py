@@ -1,0 +1,76 @@
+"""Tests for the serial / thread / process machines."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import Machine, ProcessMachine, SerialMachine, SimulatedMachine, ThreadMachine
+
+
+def _square(x):
+    return x * x
+
+
+class TestSerialMachine:
+    def test_round_results(self):
+        m = SerialMachine()
+        assert m.run_round([lambda: 1, lambda: "a"]) == [1, "a"]
+        assert m.rounds == 1 and m.tasks == 2
+
+    def test_elapsed_accumulates(self):
+        m = SerialMachine()
+        m.run_round([lambda: sum(range(1000))])
+        assert m.elapsed > 0
+        m.reset()
+        assert m.elapsed == 0
+
+    def test_protocol_conformance(self):
+        assert isinstance(SerialMachine(), Machine)
+        assert isinstance(SimulatedMachine(workers=2), Machine)
+
+
+class TestThreadMachine:
+    def test_round_results_ordered(self):
+        with ThreadMachine(workers=3) as m:
+            out = m.run_round([lambda k=k: k for k in range(7)])
+        assert out == list(range(7))
+
+    def test_run_serial(self):
+        with ThreadMachine(workers=2) as m:
+            assert m.run_serial(lambda: 5) == 5
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ThreadMachine(workers=0)
+
+
+class TestProcessMachine:
+    def test_round_spec(self):
+        with ProcessMachine(workers=2) as m:
+            out = m.run_round_spec([(_square, (k,), {}) for k in range(5)])
+        assert out == [0, 1, 4, 9, 16]
+
+    def test_numpy_payload(self):
+        with ProcessMachine(workers=2) as m:
+            out = m.run_round_spec([(np.sum, (np.arange(10),), {})])
+        assert out == [45]
+
+    def test_accounting(self):
+        with ProcessMachine(workers=2) as m:
+            m.run_round_spec([(_square, (2,), {})])
+            assert m.rounds == 1 and m.tasks == 1 and m.elapsed > 0
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            ProcessMachine(workers=0)
+
+
+class TestRealParallelSteadyAnt:
+    def test_process_machine_end_to_end(self, rng):
+        """Coarse-grained steady ant over real processes (correctness)."""
+        from repro.core.dist_matrix import sticky_multiply_dense
+        from repro.core.steady_ant.parallel import steady_ant_parallel
+
+        p, q = rng.permutation(120), rng.permutation(120)
+        with ProcessMachine(workers=2) as machine:
+            got = steady_ant_parallel(p, q, machine=machine, depth=2)
+        assert np.array_equal(got, sticky_multiply_dense(p, q))

@@ -1,0 +1,71 @@
+"""Property-based tests for the application layer and incremental kernels."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.diff import diff, similarity
+from repro.apps.edit_distance import indel_distance
+from repro.baselines.bit_hyyro import bit_lcs_hyyro
+from repro.baselines.lcs_dp import lcs_score_scalar
+from repro.core.combing.iterative import iterative_combing_rowmajor
+from repro.core.incremental import KernelBuilder
+
+seqs = st.lists(st.integers(0, 3), min_size=0, max_size=20)
+nonempty = st.lists(st.integers(0, 3), min_size=1, max_size=20)
+
+
+@given(seqs, seqs)
+@settings(max_examples=120, deadline=None)
+def test_diff_roundtrip_and_minimality(a, b):
+    ops = diff(a, b)
+    ra = [op.value for op in ops if op.kind in ("=", "-")]
+    rb = [op.value for op in ops if op.kind in ("=", "+")]
+    assert ra == a and rb == b
+    kept = sum(1 for op in ops if op.kind == "=")
+    assert kept == lcs_score_scalar(a, b)
+
+
+@given(seqs, seqs)
+@settings(max_examples=100, deadline=None)
+def test_indel_distance_metric_axioms(a, b):
+    d = indel_distance(a, b)
+    assert d >= 0
+    assert d == indel_distance(b, a)
+    assert (d == 0) == (a == b)
+    # parity: |a| + |b| - 2*LCS has the parity of |a| + |b|
+    assert (d - (len(a) + len(b))) % 2 == 0
+
+
+@given(seqs, seqs)
+@settings(max_examples=80, deadline=None)
+def test_similarity_dice_bounds(a, b):
+    s = similarity(a, b)
+    assert 0.0 <= s <= 1.0
+    if a == b:
+        assert s == 1.0
+
+
+@given(nonempty, nonempty)
+@settings(max_examples=100, deadline=None)
+def test_hyyro_agrees_with_dp(a, b):
+    assert bit_lcs_hyyro(a, b) == lcs_score_scalar(a, b)
+
+
+@given(nonempty, st.lists(nonempty, min_size=1, max_size=4))
+@settings(max_examples=60, deadline=None)
+def test_incremental_builder_equals_batch(b, blocks):
+    builder = KernelBuilder(b)
+    for block in blocks:
+        builder.append(block)
+    flat = [x for block in blocks for x in block]
+    assert np.array_equal(builder.raw_kernel(), iterative_combing_rowmajor(flat, b))
+
+
+@given(nonempty, nonempty, nonempty)
+@settings(max_examples=60, deadline=None)
+def test_incremental_builder_associativity(b, block1, block2):
+    """Appending block1+block2 at once equals appending them separately."""
+    one = KernelBuilder(b).append(block1 + block2)
+    two = KernelBuilder(b).append(block1).append(block2)
+    assert np.array_equal(one.raw_kernel(), two.raw_kernel())

@@ -1,0 +1,51 @@
+"""Property-based tests for the bit-parallel LCS."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.lcs_dp import lcs_score_scalar
+from repro.core.bitparallel import bit_lcs, bit_lcs_bigint
+
+binary = st.lists(st.integers(0, 1), min_size=1, max_size=80)
+
+
+@given(binary, binary, st.sampled_from([1, 3, 8, 64]), st.sampled_from(["old", "new1", "new2"]))
+@settings(max_examples=150, deadline=None)
+def test_blocked_matches_dp(a, b, w, variant):
+    assert bit_lcs(a, b, w=w, variant=variant) == lcs_score_scalar(a, b)
+
+
+@given(binary, binary)
+@settings(max_examples=100, deadline=None)
+def test_bigint_matches_dp(a, b):
+    assert bit_lcs_bigint(a, b) == lcs_score_scalar(a, b)
+
+
+@given(binary, binary)
+@settings(max_examples=60, deadline=None)
+def test_symmetry(a, b):
+    assert bit_lcs(a, b) == bit_lcs(b, a)
+
+
+@given(binary)
+@settings(max_examples=40, deadline=None)
+def test_reflexive(a):
+    assert bit_lcs(a, a) == len(a)
+
+
+@given(binary, binary)
+@settings(max_examples=60, deadline=None)
+def test_bounds(a, b):
+    score = bit_lcs(a, b)
+    assert 0 <= score <= min(len(a), len(b))
+    # binary strings of lengths >= 2 always share some character unless
+    # one is all-zeros and the other all-ones
+    if set(a) & set(b):
+        assert score >= 1
+
+
+@given(binary, binary, st.integers(0, 1))
+@settings(max_examples=60, deadline=None)
+def test_appending_common_char_increments(a, b, c):
+    """LCS(a + [c], b + [c]) = LCS(a, b) + 1."""
+    assert bit_lcs(a + [c], b + [c]) == bit_lcs(a, b) + 1

@@ -1,0 +1,41 @@
+"""Property-based tests for kernel composition and splitting."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combing.iterative import iterative_combing_rowmajor as comb
+from repro.core.compose import compose_horizontal, compose_vertical
+from repro.core.dist_matrix import sticky_multiply_dense
+
+strings = st.lists(st.integers(0, 2), min_size=1, max_size=10)
+
+
+@given(strings, strings, strings)
+@settings(max_examples=80, deadline=None)
+def test_vertical_composition(a1, a2, b):
+    got = compose_vertical(
+        comb(a1, b), comb(a2, b), len(a1), len(a2), len(b), multiply=sticky_multiply_dense
+    )
+    assert np.array_equal(got, comb(a1 + a2, b))
+
+
+@given(strings, strings, strings)
+@settings(max_examples=80, deadline=None)
+def test_horizontal_composition(a, b1, b2):
+    got = compose_horizontal(
+        comb(a, b1), comb(a, b2), len(a), len(b1), len(b2), multiply=sticky_multiply_dense
+    )
+    assert np.array_equal(got, comb(a, b1 + b2))
+
+
+@given(strings, strings, st.data())
+@settings(max_examples=60, deadline=None)
+def test_split_anywhere(a, b, data):
+    """Splitting a at ANY position and recomposing gives the same kernel."""
+    cut = data.draw(st.integers(0, len(a)))
+    got = compose_vertical(
+        comb(a[:cut], b), comb(a[cut:], b), cut, len(a) - cut, len(b),
+        multiply=sticky_multiply_dense,
+    )
+    assert np.array_equal(got, comb(a, b))

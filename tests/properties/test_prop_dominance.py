@@ -1,0 +1,67 @@
+"""Property-based tests for dominance counting and the braid model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.braid import StickyBraid
+from repro.core.combing.iterative import cut_positions
+from repro.core.dist_matrix import dominance_count
+from repro.core.dominance import DenseCounter, DominanceCounter
+
+permutations = st.integers(0, 2**32 - 1).flatmap(
+    lambda seed: st.integers(1, 80).map(
+        lambda n: np.random.default_rng(seed).permutation(n)
+    )
+)
+
+
+@given(permutations, st.data())
+@settings(max_examples=150, deadline=None)
+def test_counters_agree_with_definition(p, data):
+    n = p.size
+    dense = DenseCounter(p)
+    tree = DominanceCounter(p)
+    i = data.draw(st.integers(0, n))
+    j = data.draw(st.integers(0, n))
+    want = dominance_count(p, i, j)
+    assert dense.count(i, j) == want
+    assert tree.count(i, j) == want
+
+
+@given(permutations)
+@settings(max_examples=60, deadline=None)
+def test_count_monotonicity(p):
+    """count(i, j) is nonincreasing in i and nondecreasing in j."""
+    tree = DominanceCounter(p)
+    n = p.size
+    step = max(1, n // 6)
+    for i in range(0, n, step):
+        for j in range(0, n, step):
+            assert tree.count(i, j) <= tree.count(i, j + step)
+            assert tree.count(i + step, j) <= tree.count(i, j)
+
+
+@given(st.tuples(st.integers(1, 10), st.integers(1, 10)), st.data())
+@settings(max_examples=120, deadline=None)
+def test_cut_positions_bijective_everywhere(mn, data):
+    m, n = mn
+    d = data.draw(st.integers(0, m + n))
+    h, v = cut_positions(d, m, n)
+    assert sorted(np.concatenate([h, v]).tolist()) == list(range(m + n))
+
+
+@given(
+    st.lists(st.integers(0, 1), min_size=1, max_size=10),
+    st.lists(st.integers(0, 1), min_size=1, max_size=10),
+)
+@settings(max_examples=100, deadline=None)
+def test_braid_reduced_and_crossing_bound(a, b):
+    braid = StickyBraid(a, b)
+    assert braid.is_reduced()
+    # at most one crossing per strand pair
+    assert braid.crossing_count <= len(a) * len(b)
+    # matches never cross
+    for d in braid.decisions:
+        if d.match:
+            assert not d.crossed

@@ -1,0 +1,63 @@
+"""Property-based tests for the Monge/SMAWK substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dist_matrix import distribution_matrix, is_monge, minplus_multiply
+from repro.monge.multiply import minplus_multiply_monge, random_monge
+from repro.monge.smawk import row_minima_brute, smawk
+
+shapes = st.tuples(st.integers(1, 16), st.integers(1, 16))
+seeds = st.integers(0, 2**32 - 1)
+
+
+@given(seeds, shapes)
+@settings(max_examples=120, deadline=None)
+def test_random_monge_is_monge(seed, shape):
+    rng = np.random.default_rng(seed)
+    assert is_monge(random_monge(rng, *shape))
+
+
+@given(seeds, shapes)
+@settings(max_examples=100, deadline=None)
+def test_smawk_matches_brute_force(seed, shape):
+    rng = np.random.default_rng(seed)
+    m = random_monge(rng, *shape)
+    got = smawk(m.shape[0], m.shape[1], lambda i, j: m[i, j])
+    want = row_minima_brute(range(m.shape[0]), list(range(m.shape[1])), lambda i, j: m[i, j])
+    assert got.tolist() == [want[r] for r in range(m.shape[0])]
+
+
+@given(seeds, st.integers(1, 10), st.integers(1, 10), st.integers(1, 10))
+@settings(max_examples=80, deadline=None)
+def test_monge_product_matches_naive(seed, p, q, r):
+    rng = np.random.default_rng(seed)
+    a = random_monge(rng, p, q)
+    b = random_monge(rng, q, r)
+    assert np.array_equal(minplus_multiply_monge(a, b), minplus_multiply(a, b))
+
+
+@given(seeds, st.integers(1, 10), st.integers(1, 10), st.integers(1, 10))
+@settings(max_examples=60, deadline=None)
+def test_monge_closure_under_product(seed, p, q, r):
+    rng = np.random.default_rng(seed)
+    prod = minplus_multiply_monge(random_monge(rng, p, q), random_monge(rng, q, r))
+    assert is_monge(prod)
+
+
+@given(seeds, st.integers(1, 24))
+@settings(max_examples=60, deadline=None)
+def test_unit_monge_special_case(seed, n):
+    """Distribution matrices are Monge and multiply to the sticky product."""
+    rng = np.random.default_rng(seed)
+    perm_p, perm_q = rng.permutation(n), rng.permutation(n)
+    dp, dq = distribution_matrix(perm_p), distribution_matrix(perm_q)
+    assert is_monge(dp)
+    from repro.core.dist_matrix import permutation_from_distribution
+    from repro.core.steady_ant import steady_ant_combined
+
+    prod = minplus_multiply_monge(dp, dq)
+    assert np.array_equal(
+        permutation_from_distribution(prod), steady_ant_combined(perm_p, perm_q)
+    )

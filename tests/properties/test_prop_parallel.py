@@ -1,0 +1,64 @@
+"""Property-based tests for the parallel substrate and parallel algorithms."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combing.iterative import iterative_combing_rowmajor
+from repro.core.combing.parallel import (
+    parallel_hybrid_combing_grid,
+    parallel_iterative_combing,
+    parallel_load_balanced_combing,
+)
+from repro.parallel.simulator import SimulatedMachine
+
+string_pairs = st.tuples(
+    st.lists(st.integers(0, 2), min_size=1, max_size=12),
+    st.lists(st.integers(0, 2), min_size=1, max_size=12),
+)
+
+durations = st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=1, max_size=24)
+
+
+@given(durations, st.integers(1, 8))
+@settings(max_examples=200, deadline=None)
+def test_makespan_bounds(ds, workers):
+    """Greedy schedules sit between the trivial lower bounds and the
+    serial sum; with one worker they equal the sum exactly."""
+    machine = SimulatedMachine(workers=workers)
+    span = machine.makespan(ds)
+    total = sum(ds)
+    lower = max(max(ds), total / workers)
+    assert lower - 1e-9 <= span <= total + 1e-9
+    # list scheduling is a 2-approximation
+    assert span <= 2 * lower + 1e-9
+
+
+@given(durations)
+@settings(max_examples=100, deadline=None)
+def test_makespan_monotone_in_workers(ds):
+    machine_small = SimulatedMachine(workers=2)
+    machine_big = SimulatedMachine(workers=6)
+    assert machine_big.makespan(ds) <= machine_small.makespan(ds) + 1e-9
+
+
+@given(string_pairs, st.integers(1, 6))
+@settings(max_examples=60, deadline=None)
+def test_parallel_combing_exact(pair, workers):
+    a, b = pair
+    want = iterative_combing_rowmajor(a, b)
+    for fn in (
+        parallel_iterative_combing,
+        parallel_load_balanced_combing,
+        parallel_hybrid_combing_grid,
+    ):
+        got = fn(a, b, SimulatedMachine(workers=workers))
+        assert np.array_equal(got, want), fn.__name__
+
+
+@given(st.integers(1, 100), st.integers(1, 8))
+@settings(max_examples=100, deadline=None)
+def test_uniform_round_busiest_worker_fraction(items, workers):
+    """ceil(N/p)/N is within [1/p, 1] and decreases with p."""
+    frac = (-(-items // workers)) / items
+    assert 1 / workers - 1e-12 <= frac <= 1.0

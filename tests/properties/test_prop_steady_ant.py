@@ -1,0 +1,91 @@
+"""Property-based tests for sticky braid multiplication."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dist_matrix import distribution_matrix, sticky_multiply_dense
+from repro.core.steady_ant import (
+    steady_ant_combined,
+    steady_ant_memory,
+    steady_ant_precalc,
+    steady_ant_sequential,
+)
+
+permutations = st.integers(0, 2**32 - 1).flatmap(
+    lambda seed: st.integers(1, 48).map(
+        lambda n: np.random.default_rng(seed).permutation(n)
+    )
+)
+
+
+def pairs(max_n=48):
+    return st.integers(0, 2**32 - 1).flatmap(
+        lambda seed: st.integers(1, max_n).map(
+            lambda n: (
+                np.random.default_rng(seed).permutation(n),
+                np.random.default_rng(seed + 1).permutation(n),
+            )
+        )
+    )
+
+
+@given(pairs())
+@settings(max_examples=150, deadline=None)
+def test_steady_ant_matches_dense(pq):
+    p, q = pq
+    want = sticky_multiply_dense(p, q)
+    assert np.array_equal(steady_ant_sequential(p, q), want)
+    assert np.array_equal(steady_ant_combined(p, q), want)
+
+
+@given(pairs(max_n=32))
+@settings(max_examples=60, deadline=None)
+def test_all_variants_agree(pq):
+    p, q = pq
+    results = [
+        steady_ant_sequential(p, q),
+        steady_ant_precalc(p, q),
+        steady_ant_memory(p, q),
+        steady_ant_combined(p, q),
+    ]
+    for r in results[1:]:
+        assert np.array_equal(results[0], r)
+
+
+@given(pairs(max_n=32))
+@settings(max_examples=60, deadline=None)
+def test_result_is_permutation(pq):
+    p, q = pq
+    r = steady_ant_combined(p, q)
+    assert sorted(r.tolist()) == list(range(p.size))
+
+
+@given(pairs(max_n=24))
+@settings(max_examples=50, deadline=None)
+def test_minplus_identity_holds_pointwise(pq):
+    """R_sigma(i,k) = min_j P_sigma(i,j) + Q_sigma(j,k) at every point."""
+    p, q = pq
+    r = steady_ant_combined(p, q)
+    dp, dq, dr = distribution_matrix(p), distribution_matrix(q), distribution_matrix(r)
+    n = p.size
+    for i in range(0, n + 1, max(1, n // 5)):
+        for k in range(0, n + 1, max(1, n // 5)):
+            assert dr[i, k] == (dp[i, :] + dq[:, k]).min()
+
+
+@given(permutations)
+@settings(max_examples=60, deadline=None)
+def test_identity_is_neutral(p):
+    ident = np.arange(p.size)
+    assert np.array_equal(steady_ant_combined(ident, p), p)
+    assert np.array_equal(steady_ant_combined(p, ident), p)
+
+
+@given(permutations)
+@settings(max_examples=40, deadline=None)
+def test_reverse_is_absorbing(p):
+    """w0 (the reverse permutation) absorbs everything: p ⊙ w0 = w0."""
+    rev = np.arange(p.size)[::-1].copy()
+    assert np.array_equal(steady_ant_combined(p, rev), rev)
+    assert np.array_equal(steady_ant_combined(rev, p), rev)

@@ -1,0 +1,69 @@
+"""Tests for the exception hierarchy and its use across the library."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_derive_from_base(self):
+        for exc in (
+            errors.InvalidPermutationError,
+            errors.ShapeMismatchError,
+            errors.AlphabetError,
+            errors.BackendError,
+            errors.QueryError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_dual_inheritance(self):
+        """Library errors also subclass the matching builtin so generic
+        callers can catch ValueError/IndexError/RuntimeError."""
+        assert issubclass(errors.InvalidPermutationError, ValueError)
+        assert issubclass(errors.ShapeMismatchError, ValueError)
+        assert issubclass(errors.AlphabetError, ValueError)
+        assert issubclass(errors.QueryError, IndexError)
+        assert issubclass(errors.BackendError, RuntimeError)
+
+
+class TestRaisedWhereDocumented:
+    def test_invalid_permutation(self):
+        from repro.core.permutation import Permutation
+
+        with pytest.raises(errors.ReproError):
+            Permutation([0, 0])
+
+    def test_shape_mismatch(self):
+        from repro.core.steady_ant import steady_ant_combined
+
+        with pytest.raises(errors.ReproError):
+            steady_ant_combined(np.arange(2), np.arange(3))
+
+    def test_alphabet_error(self):
+        from repro.core.bitparallel import bit_lcs
+
+        with pytest.raises(errors.ReproError):
+            bit_lcs([0, 1, 2], [0, 1])
+
+    def test_query_error(self):
+        from repro import semilocal_lcs
+
+        with pytest.raises(errors.ReproError):
+            semilocal_lcs("ab", "cd").h(99, 0)
+
+    def test_one_base_class_catches_everything(self):
+        """The documented catch-one-base contract."""
+        from repro import semilocal_lcs
+        from repro.core.permutation import Permutation
+
+        failures = 0
+        for trigger in (
+            lambda: Permutation([1, 1]),
+            lambda: semilocal_lcs("ab", "cd").string_substring(2, 1),
+        ):
+            try:
+                trigger()
+            except errors.ReproError:
+                failures += 1
+        assert failures == 2

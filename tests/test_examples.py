@@ -1,0 +1,64 @@
+"""Smoke tests: every example script runs to completion.
+
+The examples are part of the public deliverable; they must keep working.
+Scripts are executed in a subprocess (own cwd, so artifacts like
+``braid.svg`` land in a temp dir). The parallel-scaling example gets a
+small explicit size to stay fast.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(tmp_path, name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        cwd=tmp_path,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self, tmp_path):
+        out = run_example(tmp_path, "quickstart.py")
+        assert "combing algorithms agree" in out
+        assert "bit-parallel LCS" in out
+
+    def test_genome_comparison(self, tmp_path):
+        out = run_example(tmp_path, "genome_comparison.py")
+        assert "UPGMA tree" in out
+        assert "identity" in out
+
+    def test_braid_visualization(self, tmp_path):
+        out = run_example(tmp_path, "braid_visualization.py")
+        assert "reduced" in out
+        assert (tmp_path / "braid.svg").exists()
+
+    def test_bitparallel_trace(self, tmp_path):
+        out = run_example(tmp_path, "bitparallel_trace.py")
+        assert "LCS = |a| - popcount(h) = 3" in out
+        assert out.count("= 3") >= 4  # trace + three variants agree
+
+    def test_time_series_motifs(self, tmp_path):
+        out = run_example(tmp_path, "time_series_motifs.py")
+        assert "both planted occurrences recovered" in out
+
+    def test_diff_and_streaming(self, tmp_path):
+        out = run_example(tmp_path, "diff_and_streaming.py")
+        assert "unified diff" in out
+        assert "final LCS" in out
+
+    @pytest.mark.slow
+    def test_parallel_scaling(self, tmp_path):
+        out = run_example(tmp_path, "parallel_scaling.py", "800")
+        assert "speedup" in out
+        assert "steady ant" in out

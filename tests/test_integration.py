@@ -1,0 +1,109 @@
+"""Cross-module integration tests: datasets -> algorithms -> apps.
+
+Each test exercises a realistic end-to-end pipeline rather than a single
+module, with agreement checks between independent engines at every step.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.apps.approximate_matching import find_matches, sliding_window_scores
+from repro.apps.edit_distance import indel_distance
+from repro.apps.genome_similarity import similarity_matrix, upgma_newick
+from repro.baselines.bit_hyyro import bit_lcs_hyyro
+from repro.baselines.prefix_lcs import prefix_lcs_rowmajor
+from repro.core.bitparallel import bit_lcs
+from repro.core.combing.parallel import parallel_hybrid_combing_grid
+from repro.core.kernel import SemiLocalKernel
+from repro.datasets.genomes import GenomeSimulator, virus_pair
+from repro.datasets.synthetic import binary_pair, synthetic_pair
+from repro.parallel import SimulatedMachine
+
+
+class TestSyntheticPipeline:
+    def test_all_engines_agree_on_synthetic_pair(self):
+        a, b = synthetic_pair(300, 400, sigma=1.0, seed=0)
+        score = prefix_lcs_rowmajor(a, b)
+        assert repro.lcs_score_dp(a, b) == score
+        assert bit_lcs_hyyro(a, b) == score
+        k = repro.semilocal_lcs(a, b)
+        assert k.lcs_whole() == score
+        k2 = repro.semilocal_lcs(a, b, algorithm="semi_hybrid_iterative")
+        assert np.array_equal(k.kernel, k2.kernel)
+
+    def test_binary_pipeline(self):
+        a, b = binary_pair(700, 900, seed=1)
+        score = bit_lcs(a, b)
+        assert score == prefix_lcs_rowmajor(a, b)
+        assert score == bit_lcs_hyyro(a, b)
+        assert score == repro.semilocal_lcs(a, b).lcs_whole()
+
+    def test_parallel_machine_pipeline(self):
+        a, b = synthetic_pair(250, 330, sigma=0.5, seed=2)
+        machine = SimulatedMachine(workers=4)
+        kernel = parallel_hybrid_combing_grid(a, b, machine)
+        k = SemiLocalKernel(kernel, len(a), len(b))
+        assert k.lcs_whole() == prefix_lcs_rowmajor(a, b)
+        assert machine.elapsed > 0 and machine.rounds >= 2
+
+
+class TestGenomePipeline:
+    def test_strain_similarity_and_matching(self):
+        a, b = virus_pair("phage-ms2", seed=4, generations=2)
+        # distance sanity between related strains
+        assert indel_distance(a, b) < 0.3 * max(len(a), len(b))
+        # a conserved segment of a is findable in b
+        segment = a[500:620]
+        scores = sliding_window_scores(segment, b)
+        assert scores.max() >= 0.75 * len(segment)
+
+    def test_family_tree(self):
+        sim = GenomeSimulator(seed=5)
+        fam1 = sim.strains(600, 2, generations=1)
+        fam2 = sim.strains(600, 2, generations=1)
+        labels = ["f1a", "f1b", "f2a", "f2b"]
+        tree = upgma_newick(similarity_matrix(fam1 + fam2), labels)
+        # siblings must be grouped: f1a with f1b, f2a with f2b
+        inner = tree[1:-2]  # strip outer parens + ';'
+        first_group = inner.split(")")[0]
+        assert ("f1a" in first_group) == ("f1b" in first_group)
+
+
+class TestMatchingConsistency:
+    def test_find_matches_consistent_with_kernel_queries(self):
+        rng = np.random.default_rng(6)
+        pattern = rng.integers(0, 4, size=12).tolist()
+        text = rng.integers(0, 4, size=200).tolist()
+        text[40:52] = pattern
+        text[120:132] = pattern
+        matches = find_matches(pattern, text, min_score=12)
+        starts = sorted(m.start for m in matches)
+        assert starts == [40, 120]
+        k = repro.semilocal_lcs(pattern, text)
+        for m in matches:
+            assert k.string_substring(m.start, m.end) == 12
+
+    def test_window_scores_lipschitz(self):
+        """Adjacent windows differ by at most 1 in score (a semi-local
+        structure property: sliding the window moves one char in/out)."""
+        a, b = synthetic_pair(30, 300, sigma=1.0, seed=7)
+        scores = sliding_window_scores(a, b)
+        assert (np.abs(np.diff(scores)) <= 1).all()
+
+
+class TestEndToEndCli:
+    def test_cli_pipeline(self, tmp_path, capsys):
+        from repro.cli import main
+
+        fasta = tmp_path / "s.fasta"
+        assert main(["genomes", "--preset", "phage-ms2", "--count", "2", "--output", str(fasta)]) == 0
+        from repro.alphabet import encode_dna
+        from repro.datasets.fasta import read_fasta
+
+        records = list(read_fasta(fasta))
+        assert len(records) == 2
+        g1 = encode_dna(records[0][1])
+        g2 = encode_dna(records[1][1])
+        k = SemiLocalKernel.from_strings(g1[:400], g2[:500])
+        assert k.lcs_whole() == prefix_lcs_rowmajor(g1[:400], g2[:500])

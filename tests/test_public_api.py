@@ -1,0 +1,43 @@
+"""Tests for the top-level package API."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestTopLevel:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_lcs(self):
+        assert repro.lcs("design", "define") == 4
+
+    def test_semilocal_default(self):
+        k = repro.semilocal_lcs("abcab", "acaba")
+        assert k.lcs_whole() == repro.lcs_score_dp("abcab", "acaba")
+
+    def test_semilocal_all_algorithms_agree(self, rng):
+        a = rng.integers(0, 3, size=9).tolist()
+        b = rng.integers(0, 3, size=11).tolist()
+        kernels = {
+            name: repro.semilocal_lcs(a, b, algorithm=name).kernel.tolist()
+            for name in repro.SEMILOCAL_ALGORITHMS
+        }
+        assert len({tuple(v) for v in kernels.values()}) == 1, kernels
+
+    def test_semilocal_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            repro.semilocal_lcs("a", "b", algorithm="semi_quantum")
+
+    def test_bit_lcs_top_level(self):
+        assert repro.bit_lcs("1000", "0100") == 3
+
+    def test_docstring_example(self):
+        k = repro.semilocal_lcs("BAABCBCA", "BAABCABCABACA")
+        assert k.lcs_whole() == 8
+        assert k.string_substring(2, 9) == 6
