@@ -1,0 +1,73 @@
+"""Fault tolerance: surviving a misbehaving parallel backend.
+
+Run:  python examples/fault_tolerance.py
+
+Wraps a backend in the deterministic ChaosMachine fault injector, then a
+ResilientMachine enforcing a FaultPolicy, and shows that the paper's
+parallel algorithms return bit-identical results while tasks are
+failing, stalling, and "crashing" underneath them — and that with
+retries disabled the machine degrades gracefully to serial execution
+(warning once) instead of dying mid-multiplication.
+"""
+
+import warnings
+
+import numpy as np
+
+from repro.core.combing.iterative import iterative_combing_antidiag_simd
+from repro.core.combing.parallel import parallel_hybrid_combing_grid
+from repro.core.dist_matrix import sticky_multiply_dense
+from repro.core.steady_ant.parallel import steady_ant_parallel
+from repro.errors import DegradedExecutionWarning
+from repro.parallel import ChaosMachine, FaultPolicy, ResilientMachine, SerialMachine
+
+rng = np.random.default_rng(2021)
+
+# ---------------------------------------------------------------------------
+# 1. A hostile backend: 20% of tasks fail, 5% "crash their worker"
+# ---------------------------------------------------------------------------
+machine = ResilientMachine(
+    ChaosMachine(SerialMachine(), fail_rate=0.20, crash_rate=0.05, seed=7),
+    FaultPolicy(max_retries=3, backoff_base=0.001),
+)
+
+p, q = rng.permutation(200), rng.permutation(200)
+got = steady_ant_parallel(p, q, machine=machine, depth=3)
+want = sticky_multiply_dense(p, q)
+assert np.array_equal(got, want)
+chaos = machine.inner
+print("steady-ant under 20% task failure + 5% crashes: bit-identical result")
+print(f"  injected: {chaos.injected_failures} failures, {chaos.injected_crashes} crashes")
+print(f"  health  : {machine.health()}")
+
+# ---------------------------------------------------------------------------
+# 2. Hybrid grid combing on the same hostile backend
+# ---------------------------------------------------------------------------
+a = rng.integers(0, 4, size=300)
+b = rng.integers(0, 4, size=400)
+machine2 = ResilientMachine(
+    ChaosMachine(SerialMachine(), fail_rate=0.20, seed=3),
+    FaultPolicy(max_retries=3, backoff_base=0.001),
+)
+got2 = parallel_hybrid_combing_grid(a, b, machine2, n_tasks=8)
+assert np.array_equal(got2, iterative_combing_antidiag_simd(a, b))
+print("\nhybrid grid combing under 20% task failure: bit-identical result")
+print(f"  health  : {machine2.health()}")
+
+# ---------------------------------------------------------------------------
+# 3. Graceful degradation: retries off, backend fully poisoned
+# ---------------------------------------------------------------------------
+machine3 = ResilientMachine(
+    ChaosMachine(SerialMachine(), fail_rate=1.0, seed=1),
+    FaultPolicy(max_retries=0, max_round_failures=2),
+)
+with warnings.catch_warnings(record=True) as caught:
+    warnings.simplefilter("always")
+    got3 = steady_ant_parallel(p, q, machine=machine3, depth=2)
+degraded = [w for w in caught if issubclass(w.category, DegradedExecutionWarning)]
+assert np.array_equal(got3, want)
+assert len(degraded) == 1, "warning must fire exactly once"
+print("\n100%-poisoned backend, retries disabled:")
+print(f"  result still bit-identical; DegradedExecutionWarning fired once")
+print(f"  permanently degraded to serial: {machine3.permanently_degraded}")
+print("\ngraceful degradation ladder verified")

@@ -9,6 +9,9 @@ Subcommands
 - ``braid A B`` — ASCII sticky-braid cell map and kernel (Fig. 1),
 - ``diff OLD NEW`` — line diff of two files,
 - ``trace A B`` — bit-parallel anti-diagonal trace (Fig. 3),
+- ``parallel A B`` — semi-local LCS on a parallel backend with a fault
+  policy (``--task-timeout``, ``--retries``, ``--no-degrade``) and
+  optional chaos injection,
 - ``bench NAME`` — run a figure benchmark (``bench list`` to enumerate),
 - ``genomes`` — generate a simulated virus-strain FASTA file.
 """
@@ -91,6 +94,60 @@ def _cmd_diff(args) -> int:
         new = fh.read()
     print(unified(diff_lines(old, new)))
     print(f"similarity: {similarity(old, new):.1%}")
+    return 0
+
+
+def _cmd_parallel(args) -> int:
+    from .alphabet import encode
+    from .core.combing.parallel import (
+        parallel_hybrid_combing_grid,
+        parallel_iterative_combing,
+        parallel_load_balanced_combing,
+    )
+    from .core.kernel import SemiLocalKernel
+    from .core.steady_ant.parallel import steady_ant_parallel
+    from .parallel import FaultPolicy, make_machine
+
+    policy = FaultPolicy(
+        task_timeout=args.task_timeout,
+        max_retries=args.retries,
+        degrade_to_serial=not args.no_degrade,
+        seed=args.seed,
+    )
+    chaos = None
+    if args.chaos_fail_rate > 0 or args.chaos_delay_rate > 0:
+        chaos = {
+            "fail_rate": args.chaos_fail_rate,
+            "delay_rate": args.chaos_delay_rate,
+            "seed": args.seed,
+        }
+    machine = make_machine(args.backend, workers=args.workers, policy=policy, chaos=chaos)
+    try:
+        ca, cb = encode(args.a), encode(args.b)
+        if args.algorithm == "hybrid":
+            perm = parallel_hybrid_combing_grid(ca, cb, machine)
+        elif args.algorithm == "combing":
+            perm = parallel_iterative_combing(ca, cb, machine)
+        elif args.algorithm == "load-balanced":
+            perm = parallel_load_balanced_combing(ca, cb, machine)
+        else:  # steady-ant: comb the halves, multiply them in parallel
+            from .core.combing.hybrid import hybrid_combing
+
+            def multiply(p, q):
+                return steady_ant_parallel(p, q, machine=machine)
+
+            perm = hybrid_combing(ca, cb, depth=1, multiply=multiply)
+        k = SemiLocalKernel(perm, ca.size, cb.size, validate=False)
+        print(f"LCS(a, b) = {k.lcs_whole()}")
+        print(f"backend: {args.backend} x{machine.workers}, elapsed {machine.elapsed:.4f}s")
+        health = getattr(machine, "health", None)
+        if health is not None:
+            for key, value in health().items():
+                print(f"  {key}: {value}")
+    finally:
+        close = getattr(machine, "close", None)
+        if close is not None:
+            close()
     return 0
 
 
@@ -179,6 +236,65 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("old")
     p.add_argument("new")
     p.set_defaults(fn=_cmd_diff)
+
+    p = sub.add_parser(
+        "parallel",
+        help="semi-local LCS on a parallel backend with a fault policy",
+        description=(
+            "Run a machine-parameterized parallel algorithm under a "
+            "ResilientMachine fault policy, optionally with chaos injection. "
+            "Prints the LCS plus the machine's health counters."
+        ),
+    )
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument(
+        "--algorithm",
+        default="hybrid",
+        choices=["hybrid", "combing", "load-balanced", "steady-ant"],
+        help="parallel algorithm (default: hybrid grid combing)",
+    )
+    p.add_argument(
+        "--backend",
+        default="serial",
+        choices=["serial", "threads", "processes", "simulated"],
+        help="execution machine (default: serial)",
+    )
+    p.add_argument("--workers", type=int, default=2, help="worker count for real backends")
+    p.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task timeout enforced by the fault policy",
+    )
+    p.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        help="per-task retries after a failed round (0 disables recovery)",
+    )
+    p.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="fail instead of falling back to serial execution",
+    )
+    p.add_argument(
+        "--chaos-fail-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject task failures with probability P (testing)",
+    )
+    p.add_argument(
+        "--chaos-delay-rate",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="inject task delays with probability P (testing)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="seed for chaos + backoff jitter")
+    p.set_defaults(fn=_cmd_parallel)
 
     p = sub.add_parser("bench", help="run a figure benchmark ('bench list')")
     p.add_argument("name")

@@ -27,5 +27,48 @@ class BackendError(ReproError, RuntimeError):
     """Raised when a parallel backend cannot satisfy a request."""
 
 
+class WorkerCrashError(BackendError):
+    """Raised when a parallel worker died (or was simulated to die by the
+    chaos injector) while executing a task.
+
+    ``task_index`` identifies the failing task within its round, when known.
+    """
+
+    def __init__(self, message: str = "worker crashed", *, task_index: int | None = None):
+        super().__init__(message)
+        self.task_index = task_index
+
+
+class TaskTimeoutError(BackendError, TimeoutError):
+    """Raised when a task exceeds the fault policy's per-task timeout.
+
+    Also subclasses the builtin :class:`TimeoutError` so generic callers
+    can catch timeouts uniformly.
+    """
+
+    def __init__(self, message: str = "task timed out", *, task_index: int | None = None):
+        super().__init__(message)
+        self.task_index = task_index
+
+
+class RoundFailedError(BackendError):
+    """Raised when a parallel round cannot be completed within its
+    :class:`~repro.parallel.resilient.FaultPolicy` (retries exhausted and
+    degradation disabled or unavailable)."""
+
+    def __init__(self, message: str = "round failed", *, task_index: int | None = None):
+        super().__init__(message)
+        self.task_index = task_index
+
+
 class QueryError(ReproError, IndexError):
     """Raised when a semi-local score query is outside the valid range."""
+
+
+class ReproWarning(UserWarning):
+    """Base class for all warnings emitted by the repro library."""
+
+
+class DegradedExecutionWarning(ReproWarning):
+    """Emitted (once per machine) when a :class:`ResilientMachine` gives up
+    on its parallel backend and falls back to serial execution."""

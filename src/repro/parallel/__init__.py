@@ -2,8 +2,8 @@
 
 The paper's algorithms are parallelized with OpenMP threads + AVX SIMD.
 CPython's GIL makes thread-level parallelism useless for compute-bound
-Python, so this package offers three interchangeable *machines* behind
-one protocol (:class:`repro.parallel.api.Machine`):
+Python, so this package offers interchangeable *machines* behind one
+protocol (:class:`repro.parallel.api.Machine`):
 
 - :class:`~repro.parallel.api.SerialMachine` — sequential execution,
   wall-clock accounting (the 1-thread baseline);
@@ -18,14 +18,77 @@ one protocol (:class:`repro.parallel.api.Machine`):
   ``multiprocessing`` pool for coarse-grained tasks (steady-ant subtasks,
   hybrid sub-grids), paying real pickling costs.
 
+Two wrappers add fault tolerance on top of any inner machine (see
+``DESIGN.md`` § Fault tolerance):
+
+- :class:`~repro.parallel.resilient.ResilientMachine` enforces a
+  :class:`~repro.parallel.resilient.FaultPolicy` — per-task timeouts,
+  bounded retries with backoff, pool rebuilds, and graceful degradation
+  to serial execution;
+- :class:`~repro.parallel.chaos.ChaosMachine` deterministically injects
+  task failures, delays and simulated worker crashes for testing.
+
+:func:`make_machine` builds any of the above from names and knobs.
+
 SIMD parallelism maps to NumPy-vectorized inner loops throughout the
 core algorithms and needs no machinery here.
 """
 
+from __future__ import annotations
+
+from ..errors import BackendError
 from .api import Machine, SerialMachine
+from .chaos import ChaosError, ChaosMachine
+from .processes import ProcessMachine
+from .resilient import FaultPolicy, ResilientMachine
 from .simulator import SimulatedMachine
 from .threads import ThreadMachine
-from .processes import ProcessMachine
+
+#: backend name -> constructor used by :func:`make_machine`
+MACHINE_KINDS = ("serial", "threads", "processes", "simulated")
+
+
+def make_machine(
+    kind: str = "serial",
+    workers: int | None = None,
+    *,
+    policy: FaultPolicy | bool | None = None,
+    chaos: dict | None = None,
+    **kwargs,
+) -> Machine:
+    """Build an execution machine by name, optionally fault-wrapped.
+
+    *kind* is one of :data:`MACHINE_KINDS`. Extra ``kwargs`` go to the
+    backend constructor (e.g. ``schedule=`` for the simulator).
+
+    - ``chaos`` — keyword arguments for
+      :class:`~repro.parallel.chaos.ChaosMachine` (``fail_rate``,
+      ``crash_rate``, ``delay_rate``, ``delay``, ``seed``); the fault
+      injector wraps the backend;
+    - ``policy`` — a :class:`~repro.parallel.resilient.FaultPolicy`
+      (or ``True`` for the defaults); the resulting
+      :class:`~repro.parallel.resilient.ResilientMachine` wraps
+      everything below it:  ``ResilientMachine(ChaosMachine(backend))``.
+    """
+    kind = kind.lower()
+    if workers is None:
+        workers = 1 if kind == "serial" else 2
+    if kind == "serial":
+        machine: Machine = SerialMachine(**kwargs)
+    elif kind == "threads":
+        machine = ThreadMachine(workers=workers, **kwargs)
+    elif kind == "processes":
+        machine = ProcessMachine(workers=workers, **kwargs)
+    elif kind == "simulated":
+        machine = SimulatedMachine(workers=workers, **kwargs)
+    else:
+        raise BackendError(f"unknown machine kind {kind!r}; available: {MACHINE_KINDS}")
+    if chaos:
+        machine = ChaosMachine(machine, **chaos)
+    if policy:
+        machine = ResilientMachine(machine, FaultPolicy() if policy is True else policy)
+    return machine
+
 
 __all__ = [
     "Machine",
@@ -33,4 +96,10 @@ __all__ = [
     "SimulatedMachine",
     "ThreadMachine",
     "ProcessMachine",
+    "ResilientMachine",
+    "FaultPolicy",
+    "ChaosMachine",
+    "ChaosError",
+    "MACHINE_KINDS",
+    "make_machine",
 ]

@@ -1,0 +1,163 @@
+"""Deterministic fault injection for testing the resilience layer.
+
+:class:`ChaosMachine` wraps any in-process machine and, with seeded
+probabilities, makes tasks fail (:class:`ChaosError`), stall
+(``time.sleep``) or take their "worker" down with them
+(:class:`~repro.errors.WorkerCrashError`) — so the retry / rebuild /
+degradation paths of :class:`~repro.parallel.resilient.ResilientMachine`
+are exercised without real crashes.
+
+All random draws happen up front in submission order (two draws per
+task), so a given seed produces the same fault pattern regardless of how
+the inner machine schedules the tasks, and re-executing a failed task
+consumes fresh draws — transient faults clear on retry, exactly like
+real stragglers.
+
+The injected faults are raised *instead of* running the task, so a
+faulted task never half-applies its work. Wrap in-process machines only
+(``SerialMachine``, ``SimulatedMachine``, ``ThreadMachine``): the fault
+closures are not picklable.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Sequence
+
+from ..errors import BackendError, WorkerCrashError
+from .api import SerialMachine, Thunk
+
+
+class ChaosError(BackendError):
+    """An artificially injected task failure."""
+
+    def __init__(self, message: str = "chaos: injected failure", *, task_index: int | None = None):
+        super().__init__(message)
+        self.task_index = task_index
+
+
+class ChaosMachine:
+    """Injects seeded faults around an inner machine's task execution.
+
+    - ``fail_rate`` — probability a task raises :class:`ChaosError`;
+    - ``crash_rate`` — probability a task raises
+      :class:`~repro.errors.WorkerCrashError` (a simulated dead worker);
+    - ``delay_rate`` / ``delay`` — probability and duration of an
+      injected stall (for exercising timeouts);
+    - ``seed`` — the deterministic fault stream.
+
+    ``fault_log`` records ``(execution_index, task_index, kind)`` for
+    every injected fault, for determinism assertions in tests.
+    """
+
+    def __init__(
+        self,
+        inner=None,
+        *,
+        fail_rate: float = 0.0,
+        crash_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay: float = 0.01,
+        seed: int = 0,
+    ):
+        for name, rate in (
+            ("fail_rate", fail_rate),
+            ("crash_rate", crash_rate),
+            ("delay_rate", delay_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if fail_rate + crash_rate > 1.0:
+            raise ValueError("fail_rate + crash_rate must be <= 1")
+        self.inner = inner if inner is not None else SerialMachine()
+        self.workers = self.inner.workers
+        self.remote_tasks = getattr(self.inner, "remote_tasks", False)
+        self.fail_rate = fail_rate
+        self.crash_rate = crash_rate
+        self.delay_rate = delay_rate
+        self.delay = delay
+        self._rng = random.Random(seed)
+        self._executions = 0
+        self.injected_failures = 0
+        self.injected_crashes = 0
+        self.injected_delays = 0
+        self.fault_log: list[tuple[int, int, str]] = []
+
+    # -- fault planning ------------------------------------------------
+
+    def _plan(self, index: int) -> tuple[str | None, bool]:
+        """Decide task *index*'s fate: (fault kind or None, delayed?)."""
+        r = self._rng.random()
+        d = self._rng.random() < self.delay_rate
+        if r < self.crash_rate:
+            return "crash", d
+        if r < self.crash_rate + self.fail_rate:
+            return "fail", d
+        return None, d
+
+    def _wrap(self, thunk: Thunk, index: int) -> Thunk:
+        fault, delayed = self._plan(index)
+        execution = self._executions
+        self._executions += 1
+
+        def chaotic():
+            if delayed:
+                self.injected_delays += 1
+                self.fault_log.append((execution, index, "delay"))
+                time.sleep(self.delay)
+            if fault == "crash":
+                self.injected_crashes += 1
+                self.fault_log.append((execution, index, "crash"))
+                raise WorkerCrashError(
+                    f"chaos: simulated worker crash in task {index}", task_index=index
+                )
+            if fault == "fail":
+                self.injected_failures += 1
+                self.fault_log.append((execution, index, "fail"))
+                raise ChaosError(
+                    f"chaos: injected failure in task {index}", task_index=index
+                )
+            return thunk()
+
+        return chaotic
+
+    # -- protocol ------------------------------------------------------
+
+    def run_round(self, thunks: Sequence[Thunk]) -> list:
+        return self.inner.run_round([self._wrap(t, i) for i, t in enumerate(thunks)])
+
+    def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
+        return self.inner.run_uniform_round(
+            [(self._wrap(t, i), n) for i, (t, n) in enumerate(tasks)]
+        )
+
+    def run_serial(self, thunk: Thunk):
+        return self.inner.run_serial(self._wrap(thunk, 0))
+
+    @property
+    def elapsed(self) -> float:
+        return self.inner.elapsed
+
+    def reset(self) -> None:
+        """Zero the inner accounting. The fault stream and injection
+        counters are *not* rewound — reseed by constructing a new
+        machine."""
+        self.inner.reset()
+
+    def rebuild(self) -> None:
+        """Pass a pool rebuild through to the inner machine, if any."""
+        rebuild = getattr(self.inner, "rebuild", None)
+        if rebuild is not None:
+            rebuild()
+
+    def close(self) -> None:
+        close = getattr(self.inner, "close", None)
+        if close is not None:
+            close()
+
+    def __enter__(self) -> "ChaosMachine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -4,14 +4,28 @@ Bypasses the GIL with OS processes. Tasks must be picklable — the
 coarse-grained call sites (steady-ant subtasks, hybrid sub-grid combing)
 submit module-level functions with NumPy-array arguments, so pickling
 cost is O(task data), amortized over O(n log n) work per task.
+
+Failure semantics (the contract the resilience layer builds on):
+
+- the first failing task cancels every still-pending future of its
+  round (fail fast, no dangling siblings);
+- a dead worker process (``BrokenExecutor``) is wrapped as
+  :class:`~repro.errors.WorkerCrashError` with the failing task index,
+  and a result wait exceeding ``timeout`` as
+  :class:`~repro.errors.TaskTimeoutError`; genuine task exceptions
+  propagate unchanged (annotated with the task index);
+- :meth:`rebuild` replaces a broken executor with a fresh one;
+- :meth:`close` is idempotent and cancels queued work.
 """
 
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Sequence
 
+from ..errors import BackendError, TaskTimeoutError, WorkerCrashError
 from .api import Thunk
 
 
@@ -25,33 +39,79 @@ class ProcessMachine:
 
     ``run_round`` accepts either zero-argument thunks (must be picklable —
     prefer ``functools.partial`` over closures) or ``(fn, args, kwargs)``
-    triples via :meth:`run_round_spec`.
+    triples via :meth:`run_round_spec`. ``timeout`` bounds the wait for
+    each task's result (seconds).
     """
+
+    #: advertises preemptive per-task timeouts to the resilience layer
+    supports_task_timeout = True
+    #: tasks run in worker processes: results cannot be captured in-process
+    remote_tasks = True
 
     def __init__(self, workers: int = 2):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
-        self._pool = ProcessPoolExecutor(max_workers=workers)
+        self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=workers)
         self._elapsed = 0.0
         self.rounds = 0
         self.tasks = 0
 
-    def run_round(self, thunks: Sequence[Thunk]) -> list:
-        start = time.perf_counter()
-        futures = [self._pool.submit(t) for t in thunks]
-        results = [f.result() for f in futures]
-        self._elapsed += time.perf_counter() - start
-        self.rounds += 1
-        self.tasks += len(thunks)
+    def _require_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            raise BackendError("machine is closed")
+        return self._pool
+
+    def _collect(self, futures: list, timeout: float | None) -> list:
+        """Gather results in order; on the first failure cancel every
+        remaining future and raise a wrapped, index-carrying error."""
+        results = []
+        try:
+            for i, f in enumerate(futures):
+                try:
+                    results.append(f.result(timeout=timeout))
+                except BrokenExecutor as exc:
+                    raise WorkerCrashError(
+                        f"worker process died while executing task {i}", task_index=i
+                    ) from exc
+                except FutureTimeoutError as exc:
+                    raise TaskTimeoutError(
+                        f"task {i} result not ready within {timeout}s", task_index=i
+                    ) from exc
+                except Exception as exc:
+                    if hasattr(exc, "add_note"):  # 3.11+; requires-python is 3.10
+                        exc.add_note(f"raised by task {i} of a {len(futures)}-task round")
+                    raise
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
         return results
 
-    def run_round_spec(self, specs: Sequence[tuple[Callable, tuple, dict]]) -> list:
+    def run_round(self, thunks: Sequence[Thunk], *, timeout: float | None = None) -> list:
+        pool = self._require_pool()
         start = time.perf_counter()
-        results = list(self._pool.map(_call, specs))
-        self._elapsed += time.perf_counter() - start
-        self.rounds += 1
-        self.tasks += len(specs)
+        try:
+            futures = [pool.submit(t) for t in thunks]
+            results = self._collect(futures, timeout)
+        finally:
+            self._elapsed += time.perf_counter() - start
+            self.rounds += 1
+            self.tasks += len(thunks)
+        return results
+
+    def run_round_spec(
+        self, specs: Sequence[tuple[Callable, tuple, dict]], *, timeout: float | None = None
+    ) -> list:
+        pool = self._require_pool()
+        start = time.perf_counter()
+        try:
+            futures = [pool.submit(_call, s) for s in specs]
+            results = self._collect(futures, timeout)
+        finally:
+            self._elapsed += time.perf_counter() - start
+            self.rounds += 1
+            self.tasks += len(specs)
         return results
 
     def run_uniform_round(self, tasks):
@@ -74,8 +134,16 @@ class ProcessMachine:
         self.rounds = 0
         self.tasks = 0
 
+    def rebuild(self) -> None:
+        """Replace the executor (e.g. after a ``BrokenProcessPool``)."""
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+        self._pool = ProcessPoolExecutor(max_workers=self.workers)
+
     def close(self) -> None:
-        self._pool.shutdown()
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+            self._pool = None
 
     def __enter__(self) -> "ProcessMachine":
         return self

@@ -5,35 +5,63 @@ Included for completeness and for I/O-bound or GIL-releasing workloads
 possible). For the pure-Python sections of the algorithms the GIL
 serializes execution — which is precisely why the benchmarks default to
 :class:`repro.parallel.simulator.SimulatedMachine`; see DESIGN.md.
+
+Shares the fail-fast round semantics of
+:class:`~repro.parallel.processes.ProcessMachine`: the first failing
+task cancels still-pending siblings, result waits honor ``timeout``
+(raising :class:`~repro.errors.TaskTimeoutError`), and :meth:`close` is
+idempotent.
 """
 
 from __future__ import annotations
 
 import time
 from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Sequence
 
+from ..errors import BackendError, TaskTimeoutError
 from .api import Thunk
 
 
 class ThreadMachine:
     """Executes rounds on a shared ``ThreadPoolExecutor``."""
 
+    #: advertises preemptive per-task timeouts to the resilience layer
+    supports_task_timeout = True
+
     def __init__(self, workers: int = 2):
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
-        self._pool = ThreadPoolExecutor(max_workers=workers)
+        self._pool: ThreadPoolExecutor | None = ThreadPoolExecutor(max_workers=workers)
         self._elapsed = 0.0
         self.rounds = 0
         self.tasks = 0
 
-    def run_round(self, thunks: Sequence[Thunk]) -> list:
+    def run_round(self, thunks: Sequence[Thunk], *, timeout: float | None = None) -> list:
+        if self._pool is None:
+            raise BackendError("machine is closed")
         start = time.perf_counter()
-        results = list(self._pool.map(lambda t: t(), thunks))
-        self._elapsed += time.perf_counter() - start
-        self.rounds += 1
-        self.tasks += len(thunks)
+        try:
+            futures = [self._pool.submit(t) for t in thunks]
+            results = []
+            try:
+                for i, f in enumerate(futures):
+                    try:
+                        results.append(f.result(timeout=timeout))
+                    except FutureTimeoutError as exc:
+                        raise TaskTimeoutError(
+                            f"task {i} result not ready within {timeout}s", task_index=i
+                        ) from exc
+            except BaseException:
+                for f in futures:
+                    f.cancel()
+                raise
+        finally:
+            self._elapsed += time.perf_counter() - start
+            self.rounds += 1
+            self.tasks += len(thunks)
         return results
 
     def run_uniform_round(self, tasks):
@@ -56,8 +84,16 @@ class ThreadMachine:
         self.rounds = 0
         self.tasks = 0
 
+    def rebuild(self) -> None:
+        """Replace the executor with a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+        self._pool = ThreadPoolExecutor(max_workers=self.workers)
+
     def close(self) -> None:
-        self._pool.shutdown()
+        if self._pool is not None:
+            self._pool.shutdown(cancel_futures=True)
+            self._pool = None
 
     def __enter__(self) -> "ThreadMachine":
         return self

@@ -1,13 +1,25 @@
 """Tests for the serial / thread / process machines."""
 
+import time
+
 import numpy as np
 import pytest
 
+from repro.errors import BackendError, TaskTimeoutError
 from repro.parallel import Machine, ProcessMachine, SerialMachine, SimulatedMachine, ThreadMachine
 
 
 def _square(x):
     return x * x
+
+
+def _raise(msg):
+    raise ValueError(msg)
+
+
+def _sleep_and_return(seconds, value):
+    time.sleep(seconds)
+    return value
 
 
 class TestSerialMachine:
@@ -62,6 +74,56 @@ class TestProcessMachine:
     def test_invalid_workers(self):
         with pytest.raises(ValueError):
             ProcessMachine(workers=0)
+
+
+class TestProcessMachineFailureSemantics:
+    def test_task_error_cancels_siblings_and_carries_index(self):
+        with ProcessMachine(workers=1) as m:
+            futures_after = []
+            with pytest.raises(ValueError) as info:
+                # one worker: the failing first task guarantees pending siblings
+                m.run_round_spec(
+                    [(_raise, ("boom",), {})]
+                    + [(_sleep_and_return, (0.2, k), {}) for k in range(6)]
+                )
+            notes = getattr(info.value, "__notes__", [])
+        assert any("task 0" in n for n in notes)
+
+    def test_timeout_raises_task_timeout_error(self):
+        with ProcessMachine(workers=1) as m:
+            with pytest.raises(TaskTimeoutError) as info:
+                m.run_round_spec([(_sleep_and_return, (5.0, 1), {})], timeout=0.2)
+            assert info.value.task_index == 0
+
+    def test_close_is_idempotent_and_closed_machine_errors(self):
+        m = ProcessMachine(workers=1)
+        m.close()
+        m.close()  # second close must not raise
+        with pytest.raises(BackendError):
+            m.run_round_spec([(_square, (2,), {})])
+
+    def test_rebuild_gives_fresh_pool(self):
+        m = ProcessMachine(workers=1)
+        m.close()
+        m.rebuild()
+        try:
+            assert m.run_round_spec([(_square, (3,), {})]) == [9]
+        finally:
+            m.close()
+
+
+class TestThreadMachineFailureSemantics:
+    def test_timeout(self):
+        with ThreadMachine(workers=1) as m:
+            with pytest.raises(TaskTimeoutError):
+                m.run_round([lambda: time.sleep(5)], timeout=0.1)
+
+    def test_close_is_idempotent(self):
+        m = ThreadMachine(workers=1)
+        m.close()
+        m.close()
+        with pytest.raises(BackendError):
+            m.run_round([lambda: 1])
 
 
 class TestRealParallelSteadyAnt:

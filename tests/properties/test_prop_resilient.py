@@ -1,0 +1,52 @@
+"""Property: fault-injected parallel execution is invisible in results.
+
+For any input and any chaos seed, a ``ResilientMachine(ChaosMachine(...))``
+drive of the parallel steady ant and hybrid grid combing returns braids
+bit-identical to the serial reference.
+"""
+
+import warnings
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combing.iterative import iterative_combing_antidiag_simd
+from repro.core.combing.parallel import parallel_hybrid_combing_grid
+from repro.core.dist_matrix import sticky_multiply_dense
+from repro.core.steady_ant.parallel import steady_ant_parallel
+from repro.errors import DegradedExecutionWarning
+from repro.parallel import ChaosMachine, FaultPolicy, ResilientMachine, SerialMachine
+
+seqs = st.lists(st.integers(0, 3), min_size=1, max_size=24)
+
+
+def _machine(seed, fail_rate):
+    return ResilientMachine(
+        ChaosMachine(SerialMachine(), fail_rate=fail_rate, crash_rate=0.05, seed=seed),
+        FaultPolicy(max_retries=2, backoff_base=0.0, jitter=0.0),
+        sleep=lambda s: None,
+    )
+
+
+@given(st.integers(2, 40), st.integers(0, 2**16), st.sampled_from([0.1, 0.2, 0.4]))
+@settings(max_examples=40, deadline=None)
+def test_steady_ant_unaffected_by_chaos(n, seed, fail_rate):
+    rng = np.random.default_rng(seed)
+    p, q = rng.permutation(n), rng.permutation(n)
+    want = sticky_multiply_dense(p, q)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedExecutionWarning)
+        got = steady_ant_parallel(p, q, machine=_machine(seed, fail_rate), depth=2)
+    assert np.array_equal(got, want)
+
+
+@given(seqs, seqs, st.integers(0, 2**16))
+@settings(max_examples=40, deadline=None)
+def test_hybrid_combing_unaffected_by_chaos(a, b, seed):
+    a, b = np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64)
+    want = iterative_combing_antidiag_simd(a, b)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedExecutionWarning)
+        got = parallel_hybrid_combing_grid(a, b, _machine(seed, 0.2), n_tasks=4)
+    assert np.array_equal(got, want)

@@ -72,6 +72,48 @@ class TestDiff:
         assert "-b" in out and "+d" in out and "similarity" in out
 
 
+class TestParallel:
+    def test_serial_backend(self, capsys):
+        assert main(["parallel", "abcab", "acaba"]) == 0
+        out = capsys.readouterr().out
+        assert "LCS(a, b) = 4" in out
+        assert "degraded_rounds: 0" in out
+
+    def test_chaos_with_retries_still_correct(self, capsys):
+        assert (
+            main(
+                ["parallel", "abcabcab", "acabacba", "--chaos-fail-rate", "0.3",
+                 "--retries", "3", "--seed", "5"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "LCS(a, b) = 6" in out
+
+    def test_chaos_without_retries_degrades(self, capsys):
+        import warnings
+
+        from repro.errors import DegradedExecutionWarning
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedExecutionWarning)
+            assert (
+                main(
+                    ["parallel", "abcab", "acaba", "--chaos-fail-rate", "1.0",
+                     "--retries", "0"]
+                )
+                == 0
+            )
+        out = capsys.readouterr().out
+        assert "LCS(a, b) = 4" in out
+
+    def test_algorithms_agree(self, capsys):
+        for algo in ("hybrid", "combing", "load-balanced", "steady-ant"):
+            assert main(["parallel", "abcabc", "bcabca", "--algorithm", algo]) == 0
+        outs = [l for l in capsys.readouterr().out.splitlines() if l.startswith("LCS")]
+        assert len(set(outs)) == 1
+
+
 class TestBench:
     def test_list(self, capsys):
         assert main(["bench", "list"]) == 0

@@ -14,6 +14,9 @@ class TestHierarchy:
             errors.AlphabetError,
             errors.BackendError,
             errors.QueryError,
+            errors.TaskTimeoutError,
+            errors.WorkerCrashError,
+            errors.RoundFailedError,
         ):
             assert issubclass(exc, errors.ReproError)
 
@@ -25,6 +28,20 @@ class TestHierarchy:
         assert issubclass(errors.AlphabetError, ValueError)
         assert issubclass(errors.QueryError, IndexError)
         assert issubclass(errors.BackendError, RuntimeError)
+        assert issubclass(errors.TaskTimeoutError, TimeoutError)
+
+    def test_fault_errors_are_backend_errors(self):
+        for exc in (errors.TaskTimeoutError, errors.WorkerCrashError, errors.RoundFailedError):
+            assert issubclass(exc, errors.BackendError)
+
+    def test_fault_errors_carry_task_index(self):
+        assert errors.WorkerCrashError("x", task_index=3).task_index == 3
+        assert errors.TaskTimeoutError("x", task_index=1).task_index == 1
+        assert errors.RoundFailedError("x").task_index is None
+
+    def test_warning_hierarchy(self):
+        assert issubclass(errors.DegradedExecutionWarning, errors.ReproWarning)
+        assert issubclass(errors.ReproWarning, UserWarning)
 
 
 class TestRaisedWhereDocumented:

@@ -6,6 +6,7 @@ Scripts are executed in a subprocess (own cwd, so artifacts like
 small explicit size to stay fast.
 """
 
+import os
 import pathlib
 import subprocess
 import sys
@@ -13,15 +14,21 @@ import sys
 import pytest
 
 EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+SRC = EXAMPLES.parent / "src"
 
 
 def run_example(tmp_path, name: str, *args: str) -> str:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(SRC)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
     result = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
         cwd=tmp_path,
         capture_output=True,
         text=True,
         timeout=600,
+        env=env,
     )
     assert result.returncode == 0, f"{name} failed:\n{result.stdout}\n{result.stderr}"
     return result.stdout
@@ -51,6 +58,11 @@ class TestExamples:
     def test_time_series_motifs(self, tmp_path):
         out = run_example(tmp_path, "time_series_motifs.py")
         assert "both planted occurrences recovered" in out
+
+    def test_fault_tolerance(self, tmp_path):
+        out = run_example(tmp_path, "fault_tolerance.py")
+        assert "bit-identical result" in out
+        assert "graceful degradation ladder verified" in out
 
     def test_diff_and_streaming(self, tmp_path):
         out = run_example(tmp_path, "diff_and_streaming.py")
