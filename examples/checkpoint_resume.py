@@ -1,0 +1,97 @@
+"""Durable computation: crash a grid combing run, resume it, lose nothing.
+
+Run:  python examples/checkpoint_resume.py
+
+Kernel composition (Theorem 3.4) makes every sub-block kernel of a grid
+combing run a self-contained artifact. The checkpoint layer persists
+each one — content-addressed and checksummed — the moment it finishes,
+so a run killed at any point resumes from disk instead of from scratch:
+
+1. a run "crashes" (simulated process death) after a few completed
+   blocks — the finished blocks are already durable;
+2. a resumed run re-derives the same content addresses, hits the store
+   for everything the dead run completed, and finishes bit-identically —
+   even while a ChaosMachine is failing 20% of its tasks;
+3. a corrupted artifact is *detected* (every byte is covered by a
+   checksum), discarded and recomputed — never silently trusted.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.checkpoint import GridCheckpointer, KernelStore
+from repro.core.combing.iterative import iterative_combing_antidiag_simd
+from repro.core.combing.parallel import parallel_hybrid_combing_grid
+from repro.parallel import (
+    ChaosMachine,
+    ChaosProcessDeath,
+    FaultPolicy,
+    ResilientMachine,
+    SerialMachine,
+)
+
+rng = np.random.default_rng(2021)
+a = rng.integers(0, 4, size=300)
+b = rng.integers(0, 4, size=400)
+reference = iterative_combing_antidiag_simd(a, b)
+
+store_dir = Path(tempfile.mkdtemp(prefix="repro-ckpt-")) / "store"
+
+# ---------------------------------------------------------------------------
+# 1. A run that dies after 5 completed blocks
+# ---------------------------------------------------------------------------
+store = KernelStore(store_dir)
+dying = ResilientMachine(
+    ChaosMachine(SerialMachine(), abort_after=5, seed=7),
+    FaultPolicy(max_retries=2, backoff_base=0.001),
+)
+try:
+    parallel_hybrid_combing_grid(
+        a, b, dying, n_tasks=16, checkpoint=GridCheckpointer(store)
+    )
+    raise AssertionError("the chaos machine should have died")
+except ChaosProcessDeath as death:
+    print(f"run 1 crashed: {death}")
+print(f"  ...but {store.stats()['writes']} block kernel(s) are already durable\n")
+
+# ---------------------------------------------------------------------------
+# 2. Resume on a fresh (still hostile) machine: bit-identical
+# ---------------------------------------------------------------------------
+store2 = KernelStore(store_dir)
+hostile = ResilientMachine(
+    ChaosMachine(SerialMachine(), fail_rate=0.20, seed=11),
+    FaultPolicy(max_retries=3, backoff_base=0.001),
+)
+resumed = parallel_hybrid_combing_grid(
+    a, b, hostile, n_tasks=16, checkpoint=GridCheckpointer(store2)
+)
+assert np.array_equal(resumed, reference)
+stats = store2.stats()
+print("run 2 resumed under 20% task-failure chaos: bit-identical kernel")
+print(f"  store: {stats['hits']} hits (the dead run's work), {stats['misses']} misses")
+print(f"  health: {hostile.health()}\n")
+
+# ---------------------------------------------------------------------------
+# 3. Corruption is detected and healed, never trusted
+# ---------------------------------------------------------------------------
+store3 = KernelStore(store_dir)
+victim = store3.key(a, b, "semi_hybrid_iterative")  # the root artifact
+payload = store3._payload_path(victim)
+payload.write_bytes(b"\x00" + payload.read_bytes()[1:])  # flip one byte
+
+final = parallel_hybrid_combing_grid(
+    a, b, SerialMachine(), n_tasks=16, checkpoint=GridCheckpointer(store3)
+)
+assert np.array_equal(final, reference)
+assert store3.stats()["corrupt"] == 1
+report = KernelStore(store_dir).verify()
+assert all(status == "ok" for status in report.values())
+print("run 3: flipped one payload byte on disk")
+print(f"  store detected {store3.stats()['corrupt']} corrupt artifact(s), recomputed,")
+print(f"  and a full verify now reports {len(report)} artifact(s) all ok")
+
+shutil.rmtree(store_dir.parent, ignore_errors=True)
+print("\ncheckpoint/resume examples all passed")

@@ -27,7 +27,7 @@ paper-vs-measured comparison.
 
 from __future__ import annotations
 
-from . import alphabet, apps, baselines, datasets, parallel
+from . import alphabet, apps, baselines, checkpoint, datasets, parallel
 from .alphabet import decode, encode
 from .apps.approximate_matching import find_matches, sliding_window_scores
 from .baselines.lcs_dp import lcs_backtrack, lcs_score_dp

@@ -1,0 +1,53 @@
+"""Durable computation: checkpoint/resume for grid combing.
+
+The ROADMAP's genome-scale runs decompose (paper Listing 7) into an
+``m_outer x n_outer`` grid of independently-combed sub-blocks merged by
+a reduction tree. Kernel composition makes each node's kernel a
+self-contained artifact, so a crash at 90% need not cost 100% of the
+work. This package provides the persistence-and-recovery layer:
+
+- :class:`~repro.checkpoint.store.KernelStore` — content-addressed,
+  checksum-verified artifact store with atomic commits and
+  hit/miss/corrupt counters; corrupt artifacts raise
+  :class:`~repro.errors.CheckpointCorruptionError` and are recomputed,
+  never silently loaded;
+- :class:`~repro.checkpoint.journal.RunJournal` — append-only progress
+  ledger (grid topology + completed leaf/merge nodes);
+- :class:`~repro.checkpoint.grid.GridCheckpointer` — the ``checkpoint=``
+  hook accepted by ``hybrid_combing_grid`` and
+  ``parallel_hybrid_combing_grid``; with
+  :class:`~repro.checkpoint.grid.CheckpointedThunk` it also lets
+  :class:`~repro.parallel.resilient.ResilientMachine` recover completed
+  tasks from disk after a pool rebuild;
+- :func:`~repro.checkpoint.signals.flush_on_signals` — SIGINT/SIGTERM
+  handlers that flush in-flight bookkeeping before exit.
+
+CLI: ``repro-lcs semilocal/parallel --checkpoint-dir DIR [--resume]``
+and ``repro-lcs checkpoint list|verify|gc DIR``. See DESIGN.md §3d for
+the durability model.
+"""
+
+from __future__ import annotations
+
+from .grid import (
+    DEFAULT_COMPOSE_MIN_ORDER,
+    GRID_ALGORITHM,
+    CheckpointedThunk,
+    GridCheckpointer,
+)
+from .journal import RunJournal, load_journal
+from .signals import flush_on_signals
+from .store import STORE_VERSION, KernelStore, kernel_key
+
+__all__ = [
+    "KernelStore",
+    "kernel_key",
+    "STORE_VERSION",
+    "RunJournal",
+    "load_journal",
+    "GridCheckpointer",
+    "CheckpointedThunk",
+    "GRID_ALGORITHM",
+    "DEFAULT_COMPOSE_MIN_ORDER",
+    "flush_on_signals",
+]

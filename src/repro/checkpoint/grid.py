@@ -1,0 +1,234 @@
+"""Checkpoint hooks for grid combing (paper Listing 7).
+
+:class:`GridCheckpointer` is the object that
+:func:`repro.core.combing.hybrid.hybrid_combing_grid` and
+:func:`repro.core.combing.parallel.parallel_hybrid_combing_grid` accept
+via their ``checkpoint=`` parameter. It content-addresses every grid
+node — leaves *and* reduction-tree composes above a size threshold — by
+the slices of ``a`` and ``b`` the node covers, so:
+
+- a leaf (or large compose) checkpoints the moment it finishes;
+- a resumed run recomputes keys from its inputs and hits the store for
+  every node a previous (crashed) process completed, in any order —
+  resume needs no coordination beyond the filesystem;
+- corrupt artifacts are discarded and recomputed
+  (:meth:`KernelStore.get_or_compute`), never trusted.
+
+``resume=False`` gives fresh-run semantics: pre-existing artifacts are
+ignored (not read) but every completed node is still persisted.
+
+:class:`CheckpointedThunk` wraps a leaf/compose computation for the
+machine-parameterized parallel path. It persists its result from inside
+the task and exposes :meth:`CheckpointedThunk.recover`, which
+:class:`~repro.parallel.resilient.ResilientMachine` calls during round
+recovery — so after a worker-pool crash and rebuild, tasks that already
+persisted are re-read from the on-disk ledger instead of recomputed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import CheckpointCorruptionError
+from ..types import PermArray
+from .journal import RunJournal, make_header
+from .store import STORE_VERSION, KernelStore
+
+#: Default grid algorithm label used in artifact keys (the paper §5 name
+#: of Listing 7).
+GRID_ALGORITHM = "semi_hybrid_iterative"
+
+#: Composes whose kernel order (m + n of the merged node) is below this
+#: are cheaper to recompute than to persist.
+DEFAULT_COMPOSE_MIN_ORDER = 512
+
+
+class CheckpointedThunk:
+    """A task whose result is durably persisted when it completes."""
+
+    def __init__(
+        self,
+        store: KernelStore,
+        key: str,
+        compute: Callable[[], PermArray],
+        *,
+        algorithm: str,
+        m: int,
+        n: int,
+        read: bool = True,
+    ):
+        self.store = store
+        self.key = key
+        self.compute = compute
+        self.algorithm = algorithm
+        self.m = m
+        self.n = n
+        self.read = read
+
+    def __call__(self) -> PermArray:
+        return self.store.get_or_compute(
+            self.key, self.compute, algorithm=self.algorithm, m=self.m, n=self.n,
+            read=self.read,
+        )
+
+    def recover(self) -> PermArray | None:
+        """Re-read this task's result from the durable ledger; ``None``
+        when it was never persisted (or failed verification — counted
+        and discarded, the caller recomputes).
+
+        Always reads, even with ``read=False``: after a mid-run crash
+        the artifact was written by *this* run, so reusing it preserves
+        fresh-run semantics."""
+        try:
+            return self.store.get(self.key)
+        except CheckpointCorruptionError:
+            self.store.discard(self.key)
+            return None
+
+
+class GridCheckpointer:
+    """Durable checkpointing policy for one grid-combing computation.
+
+    Thread-safe for the in-process parallel machines: store writes are
+    atomic renames and journal appends are lock-protected; the grid
+    algorithms record journal entries from the coordinating thread.
+    """
+
+    def __init__(
+        self,
+        store: KernelStore,
+        *,
+        algorithm: str = GRID_ALGORITHM,
+        resume: bool = True,
+        compose_min_order: int = DEFAULT_COMPOSE_MIN_ORDER,
+        keep_journal: bool = True,
+    ):
+        self.store = store
+        self.algorithm = algorithm
+        self.resume = resume
+        self.compose_min_order = compose_min_order
+        self.keep_journal = keep_journal
+        self.journal: RunJournal | None = None
+        self.root_key: str | None = None
+
+    # -- run lifecycle -------------------------------------------------
+
+    def begin(
+        self, ca: np.ndarray, cb: np.ndarray, a_lens: list[int], b_lens: list[int]
+    ) -> PermArray | None:
+        """Open (or resume) the run's journal. Returns the finished root
+        kernel when a previous run already completed this exact problem —
+        the caller returns it immediately."""
+        self.root_key = self.store.key(ca, cb, self.algorithm)
+        if self.keep_journal:
+            header = make_header(
+                self.root_key,
+                m=ca.size,
+                n=cb.size,
+                a_lens=a_lens,
+                b_lens=b_lens,
+                algorithm=self.algorithm,
+                version=STORE_VERSION,
+            )
+            path = self.store.journal_path(self.root_key[:32])
+            if not self.resume:
+                path.unlink(missing_ok=True)
+            self.journal = RunJournal(path, header)
+        if self.resume:
+            try:
+                root = self.store.get(self.root_key)
+            except CheckpointCorruptionError:
+                self.store.discard(self.root_key)
+            else:
+                if root is not None:
+                    if self.journal is not None:
+                        self.journal.record_done(self.root_key)
+                        self.journal.close()
+                    return root
+        return None
+
+    def finish(self, ca: np.ndarray, cb: np.ndarray, perm: PermArray) -> None:
+        """Persist the root kernel (a fully-complete run resumes as one
+        store hit), mark the journal done, and flush everything."""
+        assert self.root_key is not None, "finish() before begin()"
+        have_root = False
+        if self.resume:
+            try:
+                have_root = self.store.get(self.root_key) is not None
+            except CheckpointCorruptionError:
+                self.store.discard(self.root_key)
+        if not have_root:
+            self.store.put(
+                self.root_key, perm, algorithm=self.algorithm, m=ca.size, n=cb.size
+            )
+        if self.journal is not None:
+            self.journal.record_done(self.root_key)
+            self.journal.close()
+
+    def flush(self) -> None:
+        """Make all in-flight bookkeeping durable (store writes already
+        are — each artifact commits atomically as its node finishes)."""
+        if self.journal is not None:
+            self.journal.flush()
+
+    # -- node hooks (serial grid) --------------------------------------
+
+    def leaf(
+        self, i: int, j: int, ca_blk: np.ndarray, cb_blk: np.ndarray,
+        compute: Callable[[], PermArray],
+    ) -> PermArray:
+        key = self.store.key(ca_blk, cb_blk, self.algorithm)
+        perm = self.store.get_or_compute(
+            key, compute, algorithm=self.algorithm, m=ca_blk.size, n=cb_blk.size,
+            read=self.resume,
+        )
+        if self.journal is not None:
+            self.journal.record_leaf(i, j, key)
+        return perm
+
+    def compose(
+        self, level: int, index: int, ca_slice: np.ndarray, cb_slice: np.ndarray,
+        compute: Callable[[], PermArray],
+    ) -> PermArray:
+        if ca_slice.size + cb_slice.size < self.compose_min_order:
+            return compute()
+        key = self.store.key(ca_slice, cb_slice, self.algorithm)
+        perm = self.store.get_or_compute(
+            key, compute, algorithm=self.algorithm, m=ca_slice.size, n=cb_slice.size,
+            read=self.resume,
+        )
+        if self.journal is not None:
+            self.journal.record_compose(level, index, key)
+        return perm
+
+    # -- node hooks (parallel grid) ------------------------------------
+
+    def leaf_thunk(
+        self, ca_blk: np.ndarray, cb_blk: np.ndarray, compute: Callable[[], PermArray]
+    ) -> CheckpointedThunk:
+        return CheckpointedThunk(
+            self.store, self.store.key(ca_blk, cb_blk, self.algorithm), compute,
+            algorithm=self.algorithm, m=ca_blk.size, n=cb_blk.size, read=self.resume,
+        )
+
+    def compose_thunk(
+        self, ca_slice: np.ndarray, cb_slice: np.ndarray, compute: Callable[[], PermArray]
+    ) -> CheckpointedThunk | None:
+        """``None`` when the node is below the persistence threshold —
+        the caller submits the bare computation."""
+        if ca_slice.size + cb_slice.size < self.compose_min_order:
+            return None
+        return CheckpointedThunk(
+            self.store, self.store.key(ca_slice, cb_slice, self.algorithm), compute,
+            algorithm=self.algorithm, m=ca_slice.size, n=cb_slice.size, read=self.resume,
+        )
+
+    def record_leaf(self, i: int, j: int, key: str) -> None:
+        if self.journal is not None:
+            self.journal.record_leaf(i, j, key)
+
+    def record_compose(self, level: int, index: int, key: str) -> None:
+        if self.journal is not None:
+            self.journal.record_compose(level, index, key)

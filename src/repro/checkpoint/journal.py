@@ -1,0 +1,213 @@
+"""Append-only run journal: grid topology + node completion records.
+
+The :class:`~repro.checkpoint.store.KernelStore` alone makes resume
+*correct* (artifacts are content-addressed, so a restarted run simply
+re-derives keys and hits the store). The journal makes runs
+*observable*: it records the grid topology a run committed to, which
+leaf / merge nodes have completed, and whether the run finished — the
+``repro-lcs checkpoint list`` command and the crash-resume tests read
+it, and a resuming process uses it to report progress.
+
+Format: one JSON object per line (JSONL), header first::
+
+    {"type": "header", "run": ..., "m": ..., "n": ..., "a_lens": [...],
+     "b_lens": [...], "algorithm": ..., "version": ..., "created": ...}
+    {"type": "leaf", "i": 0, "j": 1, "key": "..."}
+    {"type": "compose", "level": 1, "index": 0, "key": "..."}
+    {"type": "done", "key": "..."}
+
+Appends are flushed per record; :meth:`flush` additionally fsyncs (the
+SIGINT/SIGTERM handlers call it). A process killed mid-append leaves at
+most one torn trailing line, which replay skips. A journal whose header
+does not match the topology of the resuming run is *stale* and is
+discarded wholesale — never trusted.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+#: Header fields that must match for an existing journal to be resumed.
+_HEADER_MATCH = ("run", "m", "n", "a_lens", "b_lens", "algorithm", "version")
+
+
+class RunJournal:
+    """One grid run's durable progress ledger (see module docstring)."""
+
+    def __init__(self, path: str | os.PathLike, header: dict):
+        self.path = Path(path)
+        self.header = dict(header)
+        self._lock = threading.Lock()
+        self._fh = None
+        self.completed_leaves: set[tuple[int, int]] = set()
+        self.completed_composes: set[tuple[int, int]] = set()
+        self.node_keys: dict[str, str] = {}
+        self.done = False
+        existing = self._replay() if self.path.exists() else None
+        if existing is None:
+            # fresh (or stale/garbled) journal: start over
+            self.completed_leaves.clear()
+            self.completed_composes.clear()
+            self.node_keys.clear()
+            self.done = False
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "w", encoding="ascii")
+            self._append({"type": "header", **self.header})
+        else:
+            self._fh = open(self.path, "a", encoding="ascii")
+
+    # -- replay --------------------------------------------------------
+
+    def _replay(self) -> bool | None:
+        """Load an existing journal; ``None`` means it cannot be resumed
+        (missing/mismatched header) and must be recreated."""
+        try:
+            lines = self.path.read_text(encoding="ascii").splitlines()
+        except (OSError, UnicodeDecodeError):
+            return None
+        records = []
+        for line in lines:
+            try:
+                records.append(json.loads(line))
+            except json.JSONDecodeError:
+                # a torn trailing line is expected after a crash; a torn
+                # *interior* line means later records may be missing
+                # context, so stop replaying at the first bad line either
+                # way — the store still holds every committed artifact
+                break
+        if not records or records[0].get("type") != "header":
+            return None
+        head = records[0]
+        if any(head.get(f) != self.header.get(f) for f in _HEADER_MATCH):
+            return None  # stale journal from different inputs/topology
+        for rec in records[1:]:
+            self._absorb(rec)
+        return True
+
+    def _absorb(self, rec: dict) -> None:
+        kind = rec.get("type")
+        if kind == "leaf" and "i" in rec and "j" in rec:
+            self.completed_leaves.add((rec["i"], rec["j"]))
+            self.node_keys[f"leaf:{rec['i']},{rec['j']}"] = rec.get("key", "")
+        elif kind == "compose" and "level" in rec and "index" in rec:
+            self.completed_composes.add((rec["level"], rec["index"]))
+            self.node_keys[f"compose:{rec['level']},{rec['index']}"] = rec.get("key", "")
+        elif kind == "done":
+            self.done = True
+
+    # -- append --------------------------------------------------------
+
+    def _append(self, rec: dict) -> None:
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def record_leaf(self, i: int, j: int, key: str) -> None:
+        if (i, j) in self.completed_leaves:
+            return
+        self.completed_leaves.add((i, j))
+        self.node_keys[f"leaf:{i},{j}"] = key
+        self._append({"type": "leaf", "i": i, "j": j, "key": key})
+
+    def record_compose(self, level: int, index: int, key: str) -> None:
+        if (level, index) in self.completed_composes:
+            return
+        self.completed_composes.add((level, index))
+        self.node_keys[f"compose:{level},{index}"] = key
+        self._append({"type": "compose", "level": level, "index": index, "key": key})
+
+    def record_done(self, key: str) -> None:
+        self.done = True
+        self._append({"type": "done", "key": key})
+        self.flush()
+
+    def flush(self) -> None:
+        """Flush + fsync — the signal handlers' "flush in-flight state"."""
+        with self._lock:
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    # -- inspection ----------------------------------------------------
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.header.get("a_lens", ())) * len(self.header.get("b_lens", ()))
+
+    def summary(self) -> dict:
+        return {
+            "run": self.header.get("run", ""),
+            "m": self.header.get("m"),
+            "n": self.header.get("n"),
+            "grid": f"{len(self.header.get('a_lens', ()))}x{len(self.header.get('b_lens', ()))}",
+            "leaves_done": len(self.completed_leaves),
+            "leaves_total": self.n_leaves,
+            "composes_done": len(self.completed_composes),
+            "done": self.done,
+        }
+
+
+def load_journal(path: str | os.PathLike) -> dict | None:
+    """Read-only summary of a journal file (for ``checkpoint list``);
+    ``None`` when the file is unreadable or has no valid header."""
+    path = Path(path)
+    try:
+        lines = path.read_text(encoding="ascii").splitlines()
+    except (OSError, UnicodeDecodeError):
+        return None
+    records = []
+    for line in lines:
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            break
+    if not records or records[0].get("type") != "header":
+        return None
+    header = records[0]
+    leaves = {(r["i"], r["j"]) for r in records[1:] if r.get("type") == "leaf"}
+    composes = {(r["level"], r["index"]) for r in records[1:] if r.get("type") == "compose"}
+    return {
+        "run": header.get("run", path.stem),
+        "m": header.get("m"),
+        "n": header.get("n"),
+        "grid": f"{len(header.get('a_lens', ()))}x{len(header.get('b_lens', ()))}",
+        "leaves_done": len(leaves),
+        "leaves_total": len(header.get("a_lens", ())) * len(header.get("b_lens", ())),
+        "composes_done": len(composes),
+        "done": any(r.get("type") == "done" for r in records),
+        "created": header.get("created", ""),
+    }
+
+
+def make_header(
+    run_id: str,
+    *,
+    m: int,
+    n: int,
+    a_lens: list[int],
+    b_lens: list[int],
+    algorithm: str,
+    version: int,
+) -> dict:
+    return {
+        "run": run_id,
+        "m": int(m),
+        "n": int(n),
+        "a_lens": [int(x) for x in a_lens],
+        "b_lens": [int(x) for x in b_lens],
+        "algorithm": algorithm,
+        "version": int(version),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }

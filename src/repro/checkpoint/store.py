@@ -1,0 +1,353 @@
+"""Content-addressed, integrity-verified kernel store.
+
+Kernel composition (Theorem 3.4) makes every sub-block kernel of a grid
+combing run a self-contained artifact: the kernel of ``(a_block,
+b_block)`` depends only on the two slices, so it can be cached on disk
+and reused by any later run that covers the same slices — regardless of
+grid shape, reduction order or backend. :class:`KernelStore` persists
+those artifacts keyed by ``sha256(a_block), sha256(b_block), algorithm,
+version`` and never trusts what it reads back:
+
+- **atomic commits** — payloads and manifests are written to a
+  temporary file, fsynced and ``os.replace``d into place, manifest
+  last, so a crash can leave at most an ignorable orphan, never a
+  half-written artifact that looks valid;
+- **integrity checks on every read** — the payload must match the
+  manifest's sha256, the manifest must match its own embedded checksum,
+  formats/versions/orders must agree and the decoded array must be a
+  permutation. Any violation raises
+  :class:`~repro.errors.CheckpointCorruptionError`; the artifact is
+  discarded and recomputed, never silently loaded;
+- **hit / miss / corrupt counters** so tests (and the ``repro-lcs
+  checkpoint`` CLI) can observe exactly how a run interacted with the
+  store.
+
+Layout under the store root::
+
+    objects/<key[:2]>/<key>.perm    raw little-endian int64 kernel
+    objects/<key[:2]>/<key>.json    manifest (see MANIFEST_FIELDS)
+    runs/<run_id>.jsonl             run journals (repro.checkpoint.journal)
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterator
+
+import numpy as np
+
+from ..core.permutation import perm_from_bytes, perm_to_bytes
+from ..errors import CheckpointCorruptionError, CheckpointError
+from ..types import PermArray
+
+#: Bump to invalidate every previously written artifact (key + manifest
+#: format change).
+STORE_VERSION = 1
+
+#: Manifest keys every valid artifact carries.
+MANIFEST_FIELDS = (
+    "format", "key", "algorithm", "m", "n", "order", "sha256", "created",
+    "manifest_sha256",
+)
+
+_KEY_DOMAIN = b"repro-kernel-key\x00"
+
+
+def _sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def _manifest_digest(manifest: dict) -> str:
+    """Checksum of the manifest itself (excluding the checksum field), so
+    a bit flip *anywhere* in the manifest file is detected."""
+    body = {k: v for k, v in manifest.items() if k != "manifest_sha256"}
+    return _sha256_hex(json.dumps(body, sort_keys=True, separators=(",", ":")).encode("ascii"))
+
+
+def kernel_key(ca: np.ndarray, cb: np.ndarray, algorithm: str, version: int = STORE_VERSION) -> str:
+    """Content address of the kernel of ``(ca, cb)``.
+
+    Hashes the canonical little-endian bytes of both encoded slices plus
+    the algorithm label and store version — two runs over the same data
+    share artifacts; a version bump or different algorithm does not
+    collide.
+    """
+    h = hashlib.sha256()
+    h.update(_KEY_DOMAIN)
+    h.update(f"{version}\x00{algorithm}\x00".encode("ascii"))
+    for arr in (ca, cb):
+        payload = np.ascontiguousarray(np.asarray(arr), dtype="<i8").tobytes()
+        h.update(f"{len(payload)}\x00".encode("ascii"))
+        h.update(hashlib.sha256(payload).digest())
+    return h.hexdigest()
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    """Write-to-temp + fsync + rename: *path* either keeps its old
+    content or atomically gains the new one, never a torn mix."""
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    with open(tmp, "wb") as fh:
+        fh.write(data)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    try:  # persist the rename itself (best effort; not all FS support it)
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+
+
+class KernelStore:
+    """Durable kernel artifacts under a root directory.
+
+    ``create=False`` refuses to touch a directory that does not already
+    hold a store (the CLI inspection commands use it, so a typo'd path
+    errors instead of materializing an empty store).
+    """
+
+    def __init__(self, root: str | os.PathLike, *, create: bool = True):
+        self.root = Path(root)
+        self.objects = self.root / "objects"
+        self.runs = self.root / "runs"
+        if create:
+            self.objects.mkdir(parents=True, exist_ok=True)
+            self.runs.mkdir(parents=True, exist_ok=True)
+        elif not self.objects.is_dir():
+            raise FileNotFoundError(f"no checkpoint store at {self.root}")
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.writes = 0
+
+    # stores are shipped to worker processes inside checkpointed thunks;
+    # the lock is per-process state
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # -- paths ---------------------------------------------------------
+
+    def _payload_path(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.perm"
+
+    def _manifest_path(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.json"
+
+    def journal_path(self, run_id: str):
+        return self.runs / f"{run_id}.jsonl"
+
+    def key(self, ca: np.ndarray, cb: np.ndarray, algorithm: str) -> str:
+        return kernel_key(ca, cb, algorithm)
+
+    # -- write ---------------------------------------------------------
+
+    def put(self, key: str, perm: PermArray, *, algorithm: str, m: int, n: int) -> None:
+        """Persist *perm* under *key*. Payload first, manifest last — the
+        manifest is the commit marker, so a crash between the two writes
+        leaves an orphan payload that reads as a miss, not corruption.
+        Idempotent: re-putting a key rewrites identical content."""
+        perm = np.asarray(perm)
+        if perm.size != m + n:
+            raise CheckpointError(f"kernel order {perm.size} != m+n = {m + n}")
+        payload = perm_to_bytes(perm)
+        manifest = {
+            "format": STORE_VERSION,
+            "key": key,
+            "algorithm": algorithm,
+            "m": int(m),
+            "n": int(n),
+            "order": int(perm.size),
+            "sha256": _sha256_hex(payload),
+            "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        }
+        manifest["manifest_sha256"] = _manifest_digest(manifest)
+        self._payload_path(key).parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write(self._payload_path(key), payload)
+        _atomic_write(self._manifest_path(key), json.dumps(manifest, sort_keys=True).encode("ascii"))
+        with self._lock:
+            self.writes += 1
+
+    # -- read ----------------------------------------------------------
+
+    def _load_manifest(self, key: str) -> dict:
+        try:
+            manifest = json.loads(self._manifest_path(key).read_bytes())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise CheckpointCorruptionError(f"{key}: unreadable manifest: {exc}") from exc
+        if not isinstance(manifest, dict) or any(f not in manifest for f in MANIFEST_FIELDS):
+            raise CheckpointCorruptionError(f"{key}: manifest is missing required fields")
+        if manifest["manifest_sha256"] != _manifest_digest(manifest):
+            raise CheckpointCorruptionError(f"{key}: manifest failed its own checksum")
+        if manifest["format"] != STORE_VERSION:
+            raise CheckpointCorruptionError(
+                f"{key}: store version mismatch (artifact {manifest['format']}, "
+                f"expected {STORE_VERSION})"
+            )
+        if manifest["key"] != key:
+            raise CheckpointCorruptionError(f"{key}: manifest claims key {manifest['key']}")
+        if manifest["order"] != manifest["m"] + manifest["n"]:
+            raise CheckpointCorruptionError(f"{key}: manifest order != m + n")
+        return manifest
+
+    def _load_verified(self, key: str) -> PermArray:
+        """Load and integrity-check one artifact (manifest must exist)."""
+        manifest = self._load_manifest(key)
+        try:
+            payload = self._payload_path(key).read_bytes()
+        except FileNotFoundError as exc:
+            raise CheckpointCorruptionError(f"{key}: manifest without payload") from exc
+        if len(payload) != 8 * manifest["order"]:
+            raise CheckpointCorruptionError(
+                f"{key}: payload truncated ({len(payload)} bytes for order {manifest['order']})"
+            )
+        if _sha256_hex(payload) != manifest["sha256"]:
+            raise CheckpointCorruptionError(f"{key}: payload checksum mismatch")
+        try:
+            return perm_from_bytes(payload)
+        except Exception as exc:
+            raise CheckpointCorruptionError(f"{key}: payload is not a permutation: {exc}") from exc
+
+    def get(self, key: str) -> PermArray | None:
+        """Return the verified kernel under *key*, ``None`` on a miss.
+
+        Raises :class:`~repro.errors.CheckpointCorruptionError` (and
+        counts it) when the artifact exists but fails verification.
+        """
+        if not self._manifest_path(key).exists():
+            # a payload without a manifest is an uncommitted torn write
+            self._payload_path(key).unlink(missing_ok=True)
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            perm = self._load_verified(key)
+        except CheckpointCorruptionError:
+            with self._lock:
+                self.corrupt += 1
+            raise
+        with self._lock:
+            self.hits += 1
+        return perm
+
+    def get_or_compute(
+        self,
+        key: str,
+        compute: Callable[[], PermArray],
+        *,
+        algorithm: str,
+        m: int,
+        n: int,
+        read: bool = True,
+    ) -> PermArray:
+        """The store's one-stop policy: verified hit, else recompute.
+
+        A corrupt artifact is discarded and recomputed — the corruption
+        is *counted* but never propagated as a wrong kernel. ``read=False``
+        skips the lookup (fresh-run semantics) but still persists."""
+        if read:
+            try:
+                cached = self.get(key)
+            except CheckpointCorruptionError:
+                self.discard(key)
+                cached = None
+            if cached is not None:
+                return cached
+        perm = compute()
+        self.put(key, perm, algorithm=algorithm, m=m, n=n)
+        return perm
+
+    def discard(self, key: str) -> None:
+        """Remove an artifact (manifest first, so a crash mid-discard
+        leaves an orphan payload, not a valid-looking artifact)."""
+        self._manifest_path(key).unlink(missing_ok=True)
+        self._payload_path(key).unlink(missing_ok=True)
+
+    # -- maintenance ---------------------------------------------------
+
+    def stats(self) -> dict:
+        """Hit / miss / corrupt / write counters for this process."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "corrupt": self.corrupt,
+                "writes": self.writes,
+            }
+
+    def keys(self) -> Iterator[str]:
+        """All committed artifact keys (manifest present)."""
+        if not self.objects.is_dir():
+            return
+        for manifest in sorted(self.objects.glob("*/*.json")):
+            yield manifest.stem
+
+    def entries(self) -> Iterator[dict]:
+        """Verified manifests of every artifact; corrupt ones yield a
+        ``{"key": ..., "status": reason}`` stub instead of raising."""
+        for key in self.keys():
+            try:
+                manifest = self._load_manifest(key)
+            except CheckpointCorruptionError as exc:
+                yield {"key": key, "status": f"corrupt: {exc}"}
+                continue
+            manifest["status"] = "ok"
+            yield manifest
+
+    def verify(self) -> dict[str, str]:
+        """Fully verify every artifact (manifest *and* payload bytes).
+
+        Returns ``{key: "ok" | "corrupt: reason"}``; also flags orphan
+        payloads that have no manifest."""
+        report: dict[str, str] = {}
+        for key in self.keys():
+            try:
+                self._load_verified(key)
+            except CheckpointCorruptionError as exc:
+                report[key] = f"corrupt: {exc}"
+            else:
+                report[key] = "ok"
+        if self.objects.is_dir():
+            for payload in sorted(self.objects.glob("*/*.perm")):
+                if payload.stem not in report:
+                    report[payload.stem] = "orphan: payload without manifest"
+        return report
+
+    def gc(self, *, max_age_days: float | None = None, dry_run: bool = False) -> dict:
+        """Garbage-collect the store: corrupt artifacts, orphan payloads,
+        leftover temp files, and (with *max_age_days*) artifacts older
+        than the cutoff. Returns removal counts; *dry_run* only counts."""
+        removed = {"corrupt": 0, "orphans": 0, "aged": 0, "tmp": 0, "kept": 0}
+        cutoff = None if max_age_days is None else time.time() - max_age_days * 86400.0
+        for key, status in self.verify().items():
+            if status == "ok":
+                if cutoff is not None and self._manifest_path(key).stat().st_mtime < cutoff:
+                    removed["aged"] += 1
+                    if not dry_run:
+                        self.discard(key)
+                else:
+                    removed["kept"] += 1
+            else:
+                removed["orphans" if status.startswith("orphan") else "corrupt"] += 1
+                if not dry_run:
+                    self.discard(key)
+        if self.objects.is_dir():
+            for tmp in sorted(self.objects.glob("*/*.tmp.*")):
+                removed["tmp"] += 1
+                if not dry_run:
+                    tmp.unlink(missing_ok=True)
+        return removed

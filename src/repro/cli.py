@@ -13,13 +13,39 @@ Subcommands
   policy (``--task-timeout``, ``--retries``, ``--no-degrade``) and
   optional chaos injection,
 - ``bench NAME`` — run a figure benchmark (``bench list`` to enumerate),
-- ``genomes`` — generate a simulated virus-strain FASTA file.
+- ``genomes`` — generate a simulated virus-strain FASTA file,
+- ``checkpoint list|verify|gc DIR`` — inspect and maintain a durable
+  kernel store.
+
+``semilocal`` and ``parallel`` accept ``--checkpoint-dir DIR``
+(durably persist every grid node as it completes; SIGINT/SIGTERM flush
+in-flight state) and ``--resume`` (reuse verified artifacts from a
+previous — possibly crashed — run).
+
+Library errors (:class:`~repro.errors.ReproError`, bad input files)
+exit with status 2 and a one-line message, not a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _make_checkpointer(args):
+    """Build the (store, checkpointer) pair for --checkpoint-dir runs."""
+    from .checkpoint import GridCheckpointer, KernelStore
+
+    store = KernelStore(args.checkpoint_dir)
+    return store, GridCheckpointer(store, resume=args.resume)
+
+
+def _print_checkpoint_stats(store, machine=None) -> None:
+    stats = store.stats()
+    print(
+        "checkpoint: "
+        + ", ".join(f"{k}={stats[k]}" for k in ("hits", "misses", "corrupt", "writes"))
+    )
 
 
 def _cmd_lcs(args) -> int:
@@ -37,7 +63,27 @@ def _cmd_lcs(args) -> int:
 def _cmd_semilocal(args) -> int:
     from . import semilocal_lcs
 
-    k = semilocal_lcs(args.a, args.b, algorithm=args.algorithm)
+    if args.checkpoint_dir:
+        from .alphabet import encode
+        from .checkpoint import flush_on_signals
+        from .core.combing.hybrid import hybrid_combing_grid
+        from .core.kernel import SemiLocalKernel
+        from .errors import ReproError
+
+        if args.algorithm not in ("semi_hybrid_iterative", "semi_hybrid"):
+            raise ReproError(
+                "--checkpoint-dir requires the grid-combing algorithm "
+                "(--algorithm semi_hybrid_iterative); "
+                f"got {args.algorithm!r}"
+            )
+        store, ckpt = _make_checkpointer(args)
+        ca, cb = encode(args.a), encode(args.b)
+        with flush_on_signals(ckpt):
+            perm = hybrid_combing_grid(ca, cb, checkpoint=ckpt)
+        k = SemiLocalKernel(perm, ca.size, cb.size, validate=False)
+        _print_checkpoint_stats(store)
+    else:
+        k = semilocal_lcs(args.a, args.b, algorithm=args.algorithm)
     print(f"kernel order: {k.m + k.n} (m={k.m}, n={k.n})")
     print(f"LCS(a, b) = {k.lcs_whole()}")
     if args.h_matrix:
@@ -106,6 +152,7 @@ def _cmd_parallel(args) -> int:
     )
     from .core.kernel import SemiLocalKernel
     from .core.steady_ant.parallel import steady_ant_parallel
+    from .errors import ReproError
     from .parallel import FaultPolicy, make_machine
 
     policy = FaultPolicy(
@@ -115,17 +162,33 @@ def _cmd_parallel(args) -> int:
         seed=args.seed,
     )
     chaos = None
-    if args.chaos_fail_rate > 0 or args.chaos_delay_rate > 0:
+    if args.chaos_fail_rate > 0 or args.chaos_delay_rate > 0 or args.chaos_abort_after is not None:
         chaos = {
             "fail_rate": args.chaos_fail_rate,
             "delay_rate": args.chaos_delay_rate,
+            "abort_after": args.chaos_abort_after,
             "seed": args.seed,
         }
+    store = ckpt = None
+    if args.checkpoint_dir:
+        if args.algorithm != "hybrid":
+            raise ReproError(
+                "--checkpoint-dir only supports the grid algorithm "
+                f"(--algorithm hybrid); got {args.algorithm!r}"
+            )
+        store, ckpt = _make_checkpointer(args)
     machine = make_machine(args.backend, workers=args.workers, policy=policy, chaos=chaos)
     try:
         ca, cb = encode(args.a), encode(args.b)
         if args.algorithm == "hybrid":
-            perm = parallel_hybrid_combing_grid(ca, cb, machine)
+            if ckpt is not None:
+                from .checkpoint import flush_on_signals
+
+                with flush_on_signals(ckpt):
+                    perm = parallel_hybrid_combing_grid(ca, cb, machine, checkpoint=ckpt)
+                _print_checkpoint_stats(store)
+            else:
+                perm = parallel_hybrid_combing_grid(ca, cb, machine)
         elif args.algorithm == "combing":
             perm = parallel_iterative_combing(ca, cb, machine)
         elif args.algorithm == "load-balanced":
@@ -189,11 +252,63 @@ def _cmd_genomes(args) -> int:
     return 0
 
 
+def _cmd_checkpoint(args) -> int:
+    import json
+    import os
+
+    from .checkpoint import KernelStore, load_journal
+
+    store = KernelStore(args.dir, create=False)
+    if args.action == "list":
+        count = 0
+        for manifest in store.entries():
+            count += 1
+            key = manifest["key"]
+            if manifest.get("status") != "ok":
+                print(f"{key[:16]}…  {manifest['status']}")
+                continue
+            print(
+                f"{key[:16]}…  algo={manifest.get('algorithm')} "
+                f"m={manifest.get('m')} n={manifest.get('n')} "
+                f"created={manifest.get('created')}"
+            )
+        print(f"{count} artifact(s) in {args.dir}")
+        runs_dir = os.path.join(args.dir, "runs")
+        if os.path.isdir(runs_dir):
+            for name in sorted(os.listdir(runs_dir)):
+                if not name.endswith(".jsonl"):
+                    continue
+                journal = load_journal(os.path.join(runs_dir, name))
+                if journal is None:
+                    print(f"run {name}: unreadable journal")
+                    continue
+                print(f"run {name}: {json.dumps(journal, sort_keys=True)}")
+        return 0
+    if args.action == "verify":
+        report = store.verify()
+        bad = {k: v for k, v in report.items() if v != "ok"}
+        for key, status in sorted(bad.items()):
+            print(f"{key[:16]}…  {status}")
+        print(f"verified {len(report)} artifact(s): {len(report) - len(bad)} ok, {len(bad)} bad")
+        return 1 if bad else 0
+    # gc
+    counts = store.gc(max_age_days=args.max_age_days, dry_run=args.dry_run)
+    verb = "would remove" if args.dry_run else "removed"
+    print(
+        f"{verb} {counts['corrupt']} corrupt, {counts['orphans']} orphaned, "
+        f"{counts['aged']} aged, {counts['tmp']} temp file(s); {counts['kept']} kept"
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lcs",
         description="Semi-local LCS, sticky braids and bit-parallel LCS (ICPP 2021 reproduction)",
     )
+    from . import __version__
+
+    parser.add_argument("--version", action="version", version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("lcs", help="plain LCS score")
@@ -212,6 +327,16 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=3,
         metavar=("KIND", "L", "R"),
         help="KIND in {string-substring, substring-string, prefix-suffix, suffix-prefix}",
+    )
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="durably checkpoint every grid node into this kernel store",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse verified artifacts from a previous run in --checkpoint-dir",
     )
     p.set_defaults(fn=_cmd_semilocal)
 
@@ -293,7 +418,24 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="P",
         help="inject task delays with probability P (testing)",
     )
+    p.add_argument(
+        "--chaos-abort-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="simulate a process death after N completed tasks (testing)",
+    )
     p.add_argument("--seed", type=int, default=0, help="seed for chaos + backoff jitter")
+    p.add_argument(
+        "--checkpoint-dir",
+        metavar="DIR",
+        help="durably checkpoint every grid node into this kernel store (hybrid only)",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="reuse verified artifacts from a previous run in --checkpoint-dir",
+    )
     p.set_defaults(fn=_cmd_parallel)
 
     p = sub.add_parser("bench", help="run a figure benchmark ('bench list')")
@@ -307,12 +449,43 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--output", default="strains.fasta")
     p.set_defaults(fn=_cmd_genomes)
 
+    p = sub.add_parser(
+        "checkpoint",
+        help="inspect or maintain a durable kernel store",
+        description=(
+            "list: show stored kernel artifacts and run journals; "
+            "verify: integrity-check every artifact (exit 1 if any is bad); "
+            "gc: remove corrupt, orphaned, temporary and (optionally) aged artifacts."
+        ),
+    )
+    p.add_argument("action", choices=["list", "verify", "gc"])
+    p.add_argument("dir", help="the kernel store directory")
+    p.add_argument(
+        "--max-age-days",
+        type=float,
+        default=None,
+        metavar="DAYS",
+        help="gc: also remove healthy artifacts older than DAYS",
+    )
+    p.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="gc: report what would be removed without deleting anything",
+    )
+    p.set_defaults(fn=_cmd_checkpoint)
+
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    from .errors import AlphabetError, ReproError
+
+    try:
+        return args.fn(args)
+    except (ReproError, AlphabetError, FileNotFoundError, ValueError) as exc:
+        print(f"repro-lcs: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

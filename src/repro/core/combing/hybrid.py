@@ -128,6 +128,7 @@ def hybrid_combing_grid(
     reduction: str = "longest-side",
     on_leaf=None,
     on_compose=None,
+    checkpoint=None,
 ) -> PermArray:
     """Listing 7: grid decomposition + balanced reduction tree.
 
@@ -141,7 +142,14 @@ def hybrid_combing_grid(
 
     ``on_leaf(m, n)`` / ``on_compose(order)`` are accounting callbacks for
     the parallel cost model (each reduction round's compositions are
-    mutually independent, as are all leaf combings).
+    mutually independent, as are all leaf combings); ``on_leaf`` fires as
+    each leaf finishes, in row-major order.
+
+    ``checkpoint`` is an optional
+    :class:`~repro.checkpoint.grid.GridCheckpointer`: every leaf (and
+    every reduction compose above the checkpointer's size threshold) is
+    durably persisted as it completes, and a resumed run loads completed
+    nodes from disk instead of recomputing them.
     """
     if reduction not in ("longest-side", "rows-first", "cols-first"):
         raise ValueError(f"unknown reduction heuristic {reduction!r}")
@@ -159,21 +167,37 @@ def hybrid_combing_grid(
     a_offs = np.concatenate([[0], np.cumsum(a_lens)])
     b_offs = np.concatenate([[0], np.cumsum(b_lens)])
 
-    # comb every sub-block independently (the parallel taskloop)
-    grid = [
-        [
-            _leaf(ca[a_offs[i] : a_offs[i + 1]], cb[b_offs[j] : b_offs[j + 1]], blend, use_16bit)
-            for j in range(n_outer)
-        ]
-        for i in range(m_outer)
-    ]
-    if on_leaf is not None:
-        for i in range(m_outer):
-            for j in range(n_outer):
+    if checkpoint is not None:
+        finished = checkpoint.begin(ca, cb, a_lens, b_lens)
+        if finished is not None:
+            return finished
+
+    # comb every sub-block independently (the parallel taskloop); each
+    # leaf checkpoints the moment it finishes
+    grid = []
+    for i in range(m_outer):
+        row = []
+        for j in range(n_outer):
+            ca_blk = ca[a_offs[i] : a_offs[i + 1]]
+            cb_blk = cb[b_offs[j] : b_offs[j + 1]]
+            if checkpoint is not None:
+                leaf = checkpoint.leaf(
+                    i, j, ca_blk, cb_blk,
+                    lambda ca_blk=ca_blk, cb_blk=cb_blk: _leaf(ca_blk, cb_blk, blend, use_16bit),
+                )
+            else:
+                leaf = _leaf(ca_blk, cb_blk, blend, use_16bit)
+            row.append(leaf)
+            if on_leaf is not None:
                 on_leaf(a_lens[i], b_lens[j])
+        grid.append(row)
 
     # balanced reduction: merge along the blocks' longest side (default)
+    level = 0
     while m_outer > 1 or n_outer > 1:
+        level += 1
+        a_offs = np.concatenate([[0], np.cumsum(a_lens)])
+        b_offs = np.concatenate([[0], np.cumsum(b_lens)])
         if n_outer == 1:
             row_reduction = False
         elif m_outer == 1:
@@ -185,14 +209,25 @@ def hybrid_combing_grid(
         else:
             # blocks taller than wide -> merge horizontally (row reduction)
             row_reduction = (m / m_outer) >= (n / n_outer)
+        node_index = 0
         if row_reduction:
             new_b_lens = []
             for i in range(m_outer):
                 new_row = []
                 for j in range(0, n_outer - 1, 2):
-                    merged = compose_horizontal(
+                    compute = lambda i=i, j=j: compose_horizontal(
                         grid[i][j], grid[i][j + 1], a_lens[i], b_lens[j], b_lens[j + 1], multiply
                     )
+                    if checkpoint is not None:
+                        merged = checkpoint.compose(
+                            level, node_index,
+                            ca[a_offs[i] : a_offs[i + 1]],
+                            cb[b_offs[j] : b_offs[j + 2]],
+                            compute,
+                        )
+                    else:
+                        merged = compute()
+                    node_index += 1
                     if on_compose is not None:
                         on_compose(a_lens[i] + b_lens[j] + b_lens[j + 1])
                     new_row.append(merged)
@@ -211,9 +246,19 @@ def hybrid_combing_grid(
             for i in range(0, m_outer - 1, 2):
                 new_row = []
                 for j in range(n_outer):
-                    merged = compose_vertical(
+                    compute = lambda i=i, j=j: compose_vertical(
                         grid[i][j], grid[i + 1][j], a_lens[i], a_lens[i + 1], b_lens[j], multiply
                     )
+                    if checkpoint is not None:
+                        merged = checkpoint.compose(
+                            level, node_index,
+                            ca[a_offs[i] : a_offs[i + 2]],
+                            cb[b_offs[j] : b_offs[j + 1]],
+                            compute,
+                        )
+                    else:
+                        merged = compute()
+                    node_index += 1
                     if on_compose is not None:
                         on_compose(a_lens[i] + a_lens[i + 1] + b_lens[j])
                     new_row.append(merged)
@@ -226,4 +271,6 @@ def hybrid_combing_grid(
             a_lens = new_a_lens
             m_outer = len(a_lens)
 
+    if checkpoint is not None:
+        checkpoint.finish(ca, cb, grid[0][0])
     return grid[0][0]

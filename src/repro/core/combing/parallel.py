@@ -199,6 +199,7 @@ def parallel_hybrid_combing_grid(
     use_16bit: bool = True,
     multiply=None,
     strand_limit: int | None = None,
+    checkpoint=None,
 ) -> PermArray:
     """Listing 7 with explicit parallel rounds.
 
@@ -206,6 +207,14 @@ def parallel_hybrid_combing_grid(
     level of compositions (always along the blocks' longest side) is one
     further round. ``n_tasks`` defaults to ``2 * machine.workers`` so the
     dynamic schedule has slack to balance.
+
+    ``checkpoint`` (a :class:`~repro.checkpoint.grid.GridCheckpointer`)
+    makes the run durable: each leaf/compose task persists its kernel
+    from inside the task the moment it finishes, resumed runs load
+    completed nodes from disk, and — because the submitted tasks expose
+    ``recover()`` — a :class:`~repro.parallel.resilient.ResilientMachine`
+    recovering a failed round re-reads the on-disk ledger instead of
+    recomputing.
     """
     ca, cb = encode(a), encode(b)
     m, n = ca.size, cb.size
@@ -223,6 +232,11 @@ def parallel_hybrid_combing_grid(
     a_offs = np.concatenate([[0], np.cumsum(a_lens)])
     b_offs = np.concatenate([[0], np.cumsum(b_lens)])
 
+    if checkpoint is not None:
+        finished = checkpoint.begin(ca, cb, a_lens, b_lens)
+        if finished is not None:
+            return finished
+
     def leaf_thunk(i, j):
         def thunk():
             return iterative_combing_antidiag_simd(
@@ -232,14 +246,25 @@ def parallel_hybrid_combing_grid(
                 use_16bit_when_possible=use_16bit,
             )
 
+        if checkpoint is not None:
+            return checkpoint.leaf_thunk(
+                ca[a_offs[i] : a_offs[i + 1]], cb[b_offs[j] : b_offs[j + 1]], thunk
+            )
         return thunk
 
-    flat = machine.run_round(
-        [leaf_thunk(i, j) for i in range(m_outer) for j in range(n_outer)]
-    )
+    leaf_tasks = [leaf_thunk(i, j) for i in range(m_outer) for j in range(n_outer)]
+    flat = machine.run_round(leaf_tasks)
+    if checkpoint is not None:
+        for i in range(m_outer):
+            for j in range(n_outer):
+                checkpoint.record_leaf(i, j, leaf_tasks[i * n_outer + j].key)
     grid = [[flat[i * n_outer + j] for j in range(n_outer)] for i in range(m_outer)]
 
+    level = 0
     while m_outer > 1 or n_outer > 1:
+        level += 1
+        cur_a_offs = np.concatenate([[0], np.cumsum(a_lens)])
+        cur_b_offs = np.concatenate([[0], np.cumsum(b_lens)])
         if n_outer == 1:
             row_reduction = False
         elif m_outer == 1:
@@ -251,13 +276,22 @@ def parallel_hybrid_combing_grid(
         if row_reduction:
             for i in range(m_outer):
                 for jj, j in enumerate(range(0, n_outer - 1, 2)):
-                    thunks.append(
-                        lambda i=i, j=j: compose_horizontal(
-                            grid[i][j], grid[i][j + 1], a_lens[i], b_lens[j], b_lens[j + 1], multiply
-                        )
+                    compute = lambda i=i, j=j: compose_horizontal(
+                        grid[i][j], grid[i][j + 1], a_lens[i], b_lens[j], b_lens[j + 1], multiply
                     )
+                    if checkpoint is not None:
+                        compute = checkpoint.compose_thunk(
+                            ca[cur_a_offs[i] : cur_a_offs[i + 1]],
+                            cb[cur_b_offs[j] : cur_b_offs[j + 2]],
+                            compute,
+                        ) or compute
+                    thunks.append(compute)
                     placements.append((i, jj))
             results = machine.run_round(thunks)
+            if checkpoint is not None:
+                for node_index, t in enumerate(thunks):
+                    if hasattr(t, "key"):
+                        checkpoint.record_compose(level, node_index, t.key)
             new_n = (n_outer + 1) // 2
             new_grid = [[None] * new_n for _ in range(m_outer)]
             for (i, jj), res in zip(placements, results):
@@ -272,13 +306,22 @@ def parallel_hybrid_combing_grid(
         else:
             for ii, i in enumerate(range(0, m_outer - 1, 2)):
                 for j in range(n_outer):
-                    thunks.append(
-                        lambda i=i, j=j: compose_vertical(
-                            grid[i][j], grid[i + 1][j], a_lens[i], a_lens[i + 1], b_lens[j], multiply
-                        )
+                    compute = lambda i=i, j=j: compose_vertical(
+                        grid[i][j], grid[i + 1][j], a_lens[i], a_lens[i + 1], b_lens[j], multiply
                     )
+                    if checkpoint is not None:
+                        compute = checkpoint.compose_thunk(
+                            ca[cur_a_offs[i] : cur_a_offs[i + 2]],
+                            cb[cur_b_offs[j] : cur_b_offs[j + 1]],
+                            compute,
+                        ) or compute
+                    thunks.append(compute)
                     placements.append((ii, j))
             results = machine.run_round(thunks)
+            if checkpoint is not None:
+                for node_index, t in enumerate(thunks):
+                    if hasattr(t, "key"):
+                        checkpoint.record_compose(level, node_index, t.key)
             new_m = (m_outer + 1) // 2
             new_grid = [[None] * n_outer for _ in range(new_m)]
             for (ii, j), res in zip(placements, results):
@@ -290,4 +333,6 @@ def parallel_hybrid_combing_grid(
             ] + ([a_lens[-1]] if m_outer % 2 else [])
             grid, a_lens, m_outer = new_grid, new_a_lens, new_m
 
+    if checkpoint is not None:
+        checkpoint.finish(ca, cb, grid[0][0])
     return grid[0][0]

@@ -144,6 +144,15 @@ class Permutation:
         out = (n - 1 - self._rows_to_cols)[::-1].copy()
         return Permutation(out, validate=False)
 
+    def to_bytes(self) -> bytes:
+        """Canonical byte serialization (see :func:`perm_to_bytes`)."""
+        return perm_to_bytes(self._rows_to_cols)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "Permutation":
+        """Deserialize and validate a :meth:`to_bytes` payload."""
+        return cls(perm_from_bytes(data, validate=False))
+
     def to_dense(self) -> np.ndarray:
         """Explicit 0/1 matrix (for tests and tiny examples only)."""
         m = np.zeros((self.n, self.n), dtype=np.int8)
@@ -167,6 +176,31 @@ class Permutation:
         if self.n > 8:
             body += ", ..."
         return f"Permutation([{body}], n={self.n})"
+
+
+def perm_to_bytes(rows_to_cols: PermArray) -> bytes:
+    """Canonical serialization of a permutation array: little-endian
+    int64, row order. This is the byte format the checkpoint store hashes
+    and persists (:mod:`repro.checkpoint.store`); it is platform-stable,
+    so checksums agree across machines."""
+    return np.ascontiguousarray(np.asarray(rows_to_cols), dtype="<i8").tobytes()
+
+
+def perm_from_bytes(data: bytes, *, validate: bool = True) -> PermArray:
+    """Inverse of :func:`perm_to_bytes`.
+
+    Raises :class:`InvalidPermutationError` when *data* is not a whole
+    number of int64 words or (with *validate*) does not encode a
+    permutation — truncated or bit-flipped artifacts must never load.
+    """
+    if len(data) % 8:
+        raise InvalidPermutationError(
+            f"serialized permutation has {len(data)} bytes, not a multiple of 8"
+        )
+    arr = np.frombuffer(data, dtype="<i8").astype(np.int64)
+    if validate:
+        validate_permutation(arr)
+    return arr
 
 
 def identity_permutation(n: int) -> PermArray:

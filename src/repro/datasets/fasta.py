@@ -3,34 +3,90 @@
 Lets users run the benchmarks on real genome downloads (the paper's NCBI
 dataset) instead of the built-in simulator. Only plain single-line or
 wrapped FASTA is supported — no quality scores, no gzip.
+
+The reader is deliberately strict: real downloads arrive with Windows
+line endings, UTF-8 byte-order marks, stray characters and duplicated
+record names, and silently accepting those produces wrong LCS scores
+far downstream. Anything suspect raises :class:`ValueError` with the
+offending line number.
 """
 
 from __future__ import annotations
 
 import os
+import string
 from typing import Iterable, Iterator
 
+#: Characters accepted in sequence data (after uppercasing): the IUPAC
+#: nucleotide/amino-acid codes plus the conventional gap/stop symbols.
+SEQUENCE_ALPHABET = frozenset(string.ascii_uppercase + "*-.")
 
-def read_fasta(path: str | os.PathLike) -> Iterator[tuple[str, str]]:
-    """Yield ``(header, sequence)`` pairs from a FASTA file."""
+
+def read_fasta(
+    path: str | os.PathLike,
+    *,
+    alphabet: frozenset[str] | set[str] | str = SEQUENCE_ALPHABET,
+    max_length: int | None = None,
+) -> Iterator[tuple[str, str]]:
+    """Yield ``(header, sequence)`` pairs from a FASTA file.
+
+    Tolerates CRLF line endings and a UTF-8 BOM; rejects — with a
+    :class:`ValueError` naming the line — sequence characters outside
+    *alphabet*, duplicate headers, empty headers, sequence data before
+    the first header, and records longer than *max_length* (a guard
+    against accidentally feeding a whole-chromosome download into the
+    quadratic kernels).
+    """
+    allowed = frozenset(alphabet)
     header: str | None = None
+    header_line = 0
     chunks: list[str] = []
-    with open(path, "r", encoding="ascii") as fh:
-        for raw in fh:
+    length = 0
+    seen: set[str] = set()
+
+    def emit() -> tuple[str, str]:
+        assert header is not None
+        return header, "".join(chunks)
+
+    # utf-8-sig strips a leading BOM if present and reads plain
+    # ASCII/UTF-8 unchanged; universal newlines absorb CRLF.
+    with open(path, "r", encoding="utf-8-sig", newline=None) as fh:
+        for lineno, raw in enumerate(fh, start=1):
             line = raw.strip()
             if not line:
                 continue
             if line.startswith(">"):
                 if header is not None:
-                    yield header, "".join(chunks)
+                    yield emit()
                 header = line[1:].strip()
+                header_line = lineno
+                if not header:
+                    raise ValueError(f"{path}:{lineno}: empty FASTA header")
+                if header in seen:
+                    raise ValueError(f"{path}:{lineno}: duplicate FASTA header {header!r}")
+                seen.add(header)
                 chunks = []
+                length = 0
             else:
                 if header is None:
-                    raise ValueError(f"{path}: sequence data before first header")
-                chunks.append(line.upper())
+                    raise ValueError(f"{path}:{lineno}: sequence data before first header")
+                chunk = line.upper()
+                bad = set(chunk) - allowed
+                if bad:
+                    shown = "".join(sorted(bad)[:10])
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid sequence character(s) {shown!r} "
+                        f"in record {header!r}"
+                    )
+                length += len(chunk)
+                if max_length is not None and length > max_length:
+                    raise ValueError(
+                        f"{path}:{lineno}: record {header!r} (started line "
+                        f"{header_line}) exceeds max_length={max_length}"
+                    )
+                chunks.append(chunk)
         if header is not None:
-            yield header, "".join(chunks)
+            yield emit()
 
 
 def write_fasta(

@@ -65,6 +65,21 @@ class QueryError(ReproError, IndexError):
     """Raised when a semi-local score query is outside the valid range."""
 
 
+class CheckpointError(ReproError):
+    """Base class for failures of the durable checkpoint layer
+    (:mod:`repro.checkpoint`)."""
+
+
+class CheckpointCorruptionError(CheckpointError):
+    """Raised when a stored checkpoint artifact fails an integrity check:
+    bad payload checksum, truncation, manifest tampering, format/version
+    mismatch, or an invalid permutation.
+
+    A corrupt artifact is *never* loaded; callers discard it and
+    recompute (see ``KernelStore.get_or_compute``).
+    """
+
+
 class ReproWarning(UserWarning):
     """Base class for all warnings emitted by the repro library."""
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 from ..errors import BackendError
 from .api import Machine, SerialMachine
-from .chaos import ChaosError, ChaosMachine
+from .chaos import ChaosError, ChaosMachine, ChaosProcessDeath
 from .processes import ProcessMachine
 from .resilient import FaultPolicy, ResilientMachine
 from .simulator import SimulatedMachine
@@ -100,6 +100,7 @@ __all__ = [
     "FaultPolicy",
     "ChaosMachine",
     "ChaosError",
+    "ChaosProcessDeath",
     "MACHINE_KINDS",
     "make_machine",
 ]

@@ -37,6 +37,17 @@ class ChaosError(BackendError):
         self.task_index = task_index
 
 
+class ChaosProcessDeath(BaseException):
+    """A simulated abrupt process death (crash mid-run).
+
+    Deliberately a :class:`BaseException`: like a real SIGKILL it must
+    escape the resilience layer (which catches :class:`Exception`) and
+    abort the whole run. The checkpoint tests use it to interrupt a grid
+    combing run after an arbitrary prefix of completed tasks and then
+    prove resume-from-disk is bit-identical.
+    """
+
+
 class ChaosMachine:
     """Injects seeded faults around an inner machine's task execution.
 
@@ -45,6 +56,11 @@ class ChaosMachine:
       :class:`~repro.errors.WorkerCrashError` (a simulated dead worker);
     - ``delay_rate`` / ``delay`` — probability and duration of an
       injected stall (for exercising timeouts);
+    - ``abort_after`` — after this many tasks have *completed*, the next
+      task raises :class:`ChaosProcessDeath` — a crash-mid-run fault
+      that (being a ``BaseException``) rips through retries and
+      degradation like a real process death, for checkpoint/resume
+      testing;
     - ``seed`` — the deterministic fault stream.
 
     ``fault_log`` records ``(execution_index, task_index, kind)`` for
@@ -59,6 +75,7 @@ class ChaosMachine:
         crash_rate: float = 0.0,
         delay_rate: float = 0.0,
         delay: float = 0.01,
+        abort_after: int | None = None,
         seed: int = 0,
     ):
         for name, rate in (
@@ -70,6 +87,10 @@ class ChaosMachine:
                 raise ValueError(f"{name} must be in [0, 1]")
         if fail_rate + crash_rate > 1.0:
             raise ValueError("fail_rate + crash_rate must be <= 1")
+        if abort_after is not None and abort_after < 0:
+            raise ValueError("abort_after must be >= 0 (or None)")
+        self.abort_after = abort_after
+        self._completed = 0
         self.inner = inner if inner is not None else SerialMachine()
         self.workers = self.inner.workers
         self.remote_tasks = getattr(self.inner, "remote_tasks", False)
@@ -102,6 +123,11 @@ class ChaosMachine:
         self._executions += 1
 
         def chaotic():
+            if self.abort_after is not None and self._completed >= self.abort_after:
+                self.fault_log.append((execution, index, "death"))
+                raise ChaosProcessDeath(
+                    f"chaos: simulated process death after {self._completed} completed task(s)"
+                )
             if delayed:
                 self.injected_delays += 1
                 self.fault_log.append((execution, index, "delay"))
@@ -118,7 +144,9 @@ class ChaosMachine:
                 raise ChaosError(
                     f"chaos: injected failure in task {index}", task_index=index
                 )
-            return thunk()
+            result = thunk()
+            self._completed += 1
+            return result
 
         return chaotic
 

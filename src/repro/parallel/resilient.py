@@ -30,6 +30,12 @@ kernels) survive injected faults without double-applying work. Tasks
 shipped to worker *processes* cannot be captured this way
 (``remote_tasks``); those call sites submit pure functions, which the
 retry path may safely re-execute.
+
+**Durable recovery.** Tasks that persist their results to disk
+(:class:`repro.checkpoint.grid.CheckpointedThunk`) expose ``recover()``;
+round recovery consults it before recomputing, so after a crash or a
+pool rebuild the machine re-reads the integrity-verified on-disk ledger
+instead of redoing committed work (counted as ``durable_recoveries``).
 """
 
 from __future__ import annotations
@@ -137,6 +143,7 @@ class ResilientMachine:
         self.recovered_rounds = 0
         self.degraded_rounds = 0
         self.pool_rebuilds = 0
+        self.durable_recoveries = 0
 
     # -- protocol ------------------------------------------------------
 
@@ -150,6 +157,7 @@ class ResilientMachine:
             serial=lambda: self._serial_fill(thunks, done),
             n=len(thunks),
             done=done,
+            recover=self._durable_recovery(thunks),
         )
 
     def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
@@ -166,6 +174,7 @@ class ResilientMachine:
             serial=lambda: self._serial_fill(thunks, done),
             n=len(tasks),
             done=done,
+            recover=self._durable_recovery(thunks),
         )
 
     def run_round_spec(self, specs: Sequence[tuple[Callable, tuple, dict]]) -> list:
@@ -212,6 +221,7 @@ class ResilientMachine:
         self.recovered_rounds = 0
         self.degraded_rounds = 0
         self.pool_rebuilds = 0
+        self.durable_recoveries = 0
 
     def close(self) -> None:
         close = getattr(self.inner, "close", None)
@@ -239,10 +249,35 @@ class ResilientMachine:
             "recovered_rounds": self.recovered_rounds,
             "degraded_rounds": self.degraded_rounds,
             "pool_rebuilds": self.pool_rebuilds,
+            "durable_recoveries": self.durable_recoveries,
             "permanently_degraded": self._permanent_serial,
         }
 
     # -- execution core ------------------------------------------------
+
+    @staticmethod
+    def _durable_recovery(thunks: Sequence[Thunk]):
+        """Recovery hook for tasks that persist their results durably.
+
+        Checkpointed tasks (:class:`repro.checkpoint.grid.CheckpointedThunk`)
+        expose ``recover() -> result | None``, re-reading the on-disk
+        ledger. After a crash or pool rebuild, round recovery consults it
+        before recomputing — work that already committed is loaded, not
+        redone. Returns ``None`` when no task in the round is durable.
+        """
+        table = {
+            i: t.recover
+            for i, t in enumerate(thunks)
+            if callable(getattr(t, "recover", None))
+        }
+        if not table:
+            return None
+
+        def recover(i: int):
+            fn = table.get(i)
+            return fn() if fn is not None else None
+
+        return recover
 
     @staticmethod
     def _captured(thunks: Sequence[Thunk], done: dict[int, Any]) -> list[Thunk]:
@@ -281,9 +316,11 @@ class ResilientMachine:
             return self.inner.run_round_spec(specs, timeout=self.policy.task_timeout)
         return self.inner.run_round_spec(specs)
 
-    def _execute(self, *, whole, single, serial, n, done, unwrap=False):
+    def _execute(self, *, whole, single, serial, n, done, unwrap=False, recover=None):
         """One round: try *whole*; recover unfinished tasks via *single*;
-        degrade to *serial*. ``unwrap`` marks single-result sections."""
+        degrade to *serial*. ``unwrap`` marks single-result sections.
+        ``recover(i)`` optionally re-reads task *i* from a durable ledger
+        (checkpointed tasks) before any recomputation."""
         if self._permanent_serial:
             return serial()
         try:
@@ -296,10 +333,19 @@ class ResilientMachine:
             if self.policy.max_retries > 0 and n > 0:
                 try:
                     for i in range(n):
-                        if i not in done:
-                            # record retry successes in the ledger too, so a
-                            # later degradation in this round skips them
-                            done[i] = self._retry_task(single, i)
+                        if i in done:
+                            continue
+                        if recover is not None:
+                            value = recover(i)
+                            if value is not None:
+                                # the task persisted its result before the
+                                # fault: trust the verified artifact
+                                self.durable_recoveries += 1
+                                done[i] = value
+                                continue
+                        # record retry successes in the ledger too, so a
+                        # later degradation in this round skips them
+                        done[i] = self._retry_task(single, i)
                 except RoundFailedError:
                     if not self.policy.degrade_to_serial:
                         raise

@@ -1,0 +1,89 @@
+"""Crash-resume with a *real* process kill.
+
+A child Python process runs a checkpointed grid combing with slowed-down
+leaves; the parent SIGKILLs it once the store holds some (but not all)
+artifacts, resumes in-process, and asserts the kernel is bit-identical —
+the no-cooperation version of the property tests.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.checkpoint import GridCheckpointer, KernelStore
+from repro.core.combing.hybrid import hybrid_combing_grid
+from repro.core.combing.iterative import iterative_combing_rowmajor
+
+pytestmark = pytest.mark.skipif(os.name != "posix", reason="needs POSIX kill")
+
+A = "BAABCBCABACCBABA" * 4
+B = "CABBAACBCABACABB" * 4
+
+CHILD = """
+import sys, time
+import numpy as np
+from repro.alphabet import encode
+from repro.checkpoint import GridCheckpointer, KernelStore
+from repro.core.combing.hybrid import hybrid_combing_grid
+
+store_dir, a, b = sys.argv[1], sys.argv[2], sys.argv[3]
+ckpt = GridCheckpointer(KernelStore(store_dir), compose_min_order=0)
+print("ready", flush=True)
+hybrid_combing_grid(
+    encode(a), encode(b), 16, checkpoint=ckpt,
+    on_leaf=lambda m, n: time.sleep(0.05),
+)
+print("finished", flush=True)
+"""
+
+
+def test_sigkill_mid_run_then_resume(tmp_path):
+    store_dir = tmp_path / "store"
+    env = dict(os.environ)
+    repro_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = repro_root + os.pathsep + env.get("PYTHONPATH", "")
+
+    proc = subprocess.Popen(
+        [sys.executable, "-c", CHILD, str(store_dir), A, B],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        # wait until a few leaf artifacts have committed, then kill -9
+        deadline = time.monotonic() + 30
+        objects = store_dir / "objects"
+        while time.monotonic() < deadline:
+            if objects.is_dir() and len(list(objects.glob("*/*.json"))) >= 3:
+                break
+            if proc.poll() is not None:
+                out, err = proc.communicate()
+                pytest.fail(f"child exited early: {out!r} {err!r}")
+            time.sleep(0.01)
+        else:
+            pytest.fail("child never wrote 3 artifacts")
+        proc.send_signal(signal.SIGKILL)
+        proc.wait(timeout=30)
+    finally:
+        if proc.poll() is None:  # pragma: no cover - cleanup on failure
+            proc.kill()
+            proc.wait()
+    assert proc.returncode == -signal.SIGKILL
+
+    ca, cb = repro.encode(A), repro.encode(B)
+    store = KernelStore(store_dir)
+    got = hybrid_combing_grid(
+        ca, cb, 16, checkpoint=GridCheckpointer(store, compose_min_order=0)
+    )
+    assert np.array_equal(got, iterative_combing_rowmajor(ca, cb))
+    assert store.stats()["hits"] >= 3  # the killed run's work was reused
+    # and whatever the kill left behind is either valid or ignorable
+    assert all(v == "ok" for v in store.verify().values())

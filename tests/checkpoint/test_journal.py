@@ -1,0 +1,113 @@
+"""Tests for the append-only run journal."""
+
+from repro.checkpoint import STORE_VERSION, RunJournal, load_journal
+from repro.checkpoint.journal import make_header
+
+
+def header(run="r1", m=8, n=8, a_lens=(4, 4), b_lens=(4, 4)):
+    return make_header(
+        run, m=m, n=n, a_lens=list(a_lens), b_lens=list(b_lens),
+        algorithm="algo", version=STORE_VERSION,
+    )
+
+
+class TestJournal:
+    def test_fresh_journal_writes_header(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        j = RunJournal(path, header())
+        j.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 and '"type": "header"' in lines[0]
+
+    def test_replay_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        j = RunJournal(path, header())
+        j.record_leaf(0, 0, "k00")
+        j.record_leaf(1, 1, "k11")
+        j.record_compose(1, 0, "c10")
+        j.close()
+
+        j2 = RunJournal(path, header())
+        assert j2.completed_leaves == {(0, 0), (1, 1)}
+        assert j2.completed_composes == {(1, 0)}
+        assert j2.node_keys["leaf:0,0"] == "k00"
+        assert not j2.done
+        j2.close()
+
+    def test_done_marker_survives_replay(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        j = RunJournal(path, header())
+        j.record_done("root")
+        j.close()
+        j2 = RunJournal(path, header())
+        assert j2.done
+        j2.close()
+
+    def test_torn_trailing_line_tolerated(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        j = RunJournal(path, header())
+        j.record_leaf(0, 0, "k00")
+        j.close()
+        with open(path, "a") as fh:
+            fh.write('{"type": "leaf", "i": 1, "j":')  # killed mid-append
+        j2 = RunJournal(path, header())
+        assert j2.completed_leaves == {(0, 0)}
+        j2.close()
+
+    def test_stale_header_discards_journal(self, tmp_path):
+        """A journal from different inputs/topology is never trusted."""
+        path = tmp_path / "run.jsonl"
+        j = RunJournal(path, header(run="old-run"))
+        j.record_leaf(0, 0, "k00")
+        j.close()
+        j2 = RunJournal(path, header(run="new-run"))
+        assert j2.completed_leaves == set()
+        j2.close()
+        # and the file was rewritten with the new header
+        j3 = RunJournal(path, header(run="new-run"))
+        assert j3.completed_leaves == set()
+        j3.close()
+
+    def test_garbled_file_discarded(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text("not json at all\n")
+        j = RunJournal(path, header())
+        assert j.completed_leaves == set() and not j.done
+        j.close()
+
+    def test_records_are_idempotent(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        j = RunJournal(path, header())
+        for _ in range(3):
+            j.record_leaf(0, 0, "k00")
+            j.record_compose(1, 0, "c10")
+        j.close()
+        assert len(path.read_text().splitlines()) == 3  # header + 2 records
+
+    def test_n_leaves(self, tmp_path):
+        j = RunJournal(tmp_path / "r.jsonl", header(a_lens=(4, 4, 4), b_lens=(8,)))
+        assert j.n_leaves == 3
+        assert j.summary()["grid"] == "3x1"
+        j.close()
+
+
+class TestLoadJournal:
+    def test_summary(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        j = RunJournal(path, header())
+        j.record_leaf(0, 0, "k00")
+        j.record_compose(1, 0, "c10")
+        j.record_done("root")
+        j.close()
+        summary = load_journal(path)
+        assert summary["leaves_done"] == 1
+        assert summary["leaves_total"] == 4
+        assert summary["composes_done"] == 1
+        assert summary["done"] is True
+        assert summary["grid"] == "2x2"
+
+    def test_unreadable_returns_none(self, tmp_path):
+        assert load_journal(tmp_path / "missing.jsonl") is None
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("garbage\n")
+        assert load_journal(bad) is None

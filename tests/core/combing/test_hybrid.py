@@ -131,3 +131,60 @@ class TestHybridGrid:
         b = random_codes(rng, 40)
         got = hybrid_combing_grid(a, b, 2, strand_limit=30)
         assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+
+
+class TestHybridGridEdgeCases:
+    """Degenerate shapes: empty sides, 1×k grids, excessive depth."""
+
+    def test_empty_a(self, rng):
+        b = random_codes(rng, 9)
+        got = hybrid_combing_grid([], b, 4)
+        assert np.array_equal(got, iterative_combing_rowmajor([], b))
+
+    def test_empty_b(self, rng):
+        a = random_codes(rng, 9)
+        got = hybrid_combing_grid(a, [], 4)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, []))
+
+    def test_both_empty_many_tasks(self):
+        assert hybrid_combing_grid([], [], 16).tolist() == []
+
+    def test_single_character_sides(self, rng):
+        for m, n in [(1, 1), (1, 12), (12, 1)]:
+            a = random_codes(rng, m)
+            b = random_codes(rng, n)
+            got = hybrid_combing_grid(a, b, 6)
+            assert np.array_equal(got, iterative_combing_rowmajor(a, b)), (m, n)
+
+    @pytest.mark.parametrize("depth", [10, 50])
+    def test_hybrid_depth_exceeding_log2(self, depth, rng):
+        """depth ≫ log2(n): recursion bottoms out at single characters."""
+        a, b = random_pair(rng, max_len=10)
+        got = hybrid_combing(a, b, depth)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+
+    def test_tasks_exceeding_cells(self, rng):
+        """More tasks than grid cells clamps to one cell per character."""
+        a = random_codes(rng, 3)
+        b = random_codes(rng, 2)
+        got = hybrid_combing_grid(a, b, 64)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+
+    def test_degenerate_1xk_grid(self, rng):
+        """A length-1 `a` forces a 1×k grid: the reduction is a chain of
+        horizontal composes only."""
+        a = random_codes(rng, 1)
+        b = random_codes(rng, 30)
+        leaves = []
+        got = hybrid_combing_grid(a, b, 5, on_leaf=lambda m, n: leaves.append((m, n)))
+        assert len(leaves) >= 5 and all(m == 1 for m, _ in leaves)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+
+    def test_degenerate_kx1_grid(self, rng):
+        """A length-1 `b` forces a k×1 grid: vertical composes only."""
+        a = random_codes(rng, 30)
+        b = random_codes(rng, 1)
+        leaves = []
+        got = hybrid_combing_grid(a, b, 5, on_leaf=lambda m, n: leaves.append((m, n)))
+        assert len(leaves) >= 5 and all(n == 1 for _, n in leaves)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))

@@ -39,3 +39,69 @@ class TestRoundtrip:
         path = tmp_path / "e.fasta"
         path.write_text("")
         assert list(read_fasta(path)) == []
+
+
+class TestHardening:
+    """Dirty real-world downloads: CRLF, BOM, junk bytes, dupes."""
+
+    def test_crlf_line_endings(self, tmp_path):
+        path = tmp_path / "crlf.fasta"
+        path.write_bytes(b">s one\r\nACGT\r\nTTAA\r\n")
+        assert list(read_fasta(path)) == [("s one", "ACGTTTAA")]
+
+    def test_utf8_bom_stripped(self, tmp_path):
+        path = tmp_path / "bom.fasta"
+        path.write_bytes(b"\xef\xbb\xbf>s\nACGT\n")
+        assert list(read_fasta(path)) == [("s", "ACGT")]
+
+    def test_invalid_characters_rejected_with_line(self, tmp_path):
+        path = tmp_path / "junk.fasta"
+        path.write_text(">s\nACGT\nAC>GT\n")
+        with pytest.raises(ValueError, match=r":3:.*invalid sequence"):
+            list(read_fasta(path))
+
+    def test_digits_rejected(self, tmp_path):
+        path = tmp_path / "digits.fasta"
+        path.write_text(">s\nAC1GT\n")
+        with pytest.raises(ValueError, match="invalid sequence"):
+            list(read_fasta(path))
+
+    def test_gap_and_stop_symbols_allowed(self, tmp_path):
+        path = tmp_path / "gaps.fasta"
+        path.write_text(">s\nAC-G.T*\n")
+        assert list(read_fasta(path)) == [("s", "AC-G.T*")]
+
+    def test_custom_alphabet(self, tmp_path):
+        path = tmp_path / "bin.fasta"
+        path.write_text(">s\n0101\n")
+        assert list(read_fasta(path, alphabet="01")) == [("s", "0101")]
+        with pytest.raises(ValueError, match="invalid sequence"):
+            list(read_fasta(path))
+
+    def test_duplicate_header_rejected(self, tmp_path):
+        path = tmp_path / "dup.fasta"
+        path.write_text(">s\nAC\n>s\nGT\n")
+        with pytest.raises(ValueError, match="duplicate FASTA header 's'"):
+            list(read_fasta(path))
+
+    def test_empty_header_rejected(self, tmp_path):
+        path = tmp_path / "noname.fasta"
+        path.write_text(">\nAC\n")
+        with pytest.raises(ValueError, match="empty FASTA header"):
+            list(read_fasta(path))
+
+    def test_max_length_guard(self, tmp_path):
+        path = tmp_path / "big.fasta"
+        write_fasta(path, [("ok", "A" * 50), ("big", "C" * 51)])
+        with pytest.raises(ValueError, match=r"'big'.*exceeds max_length=50"):
+            list(read_fasta(path, max_length=50))
+        assert len(list(read_fasta(path, max_length=51))) == 2
+
+    def test_error_does_not_yield_partial_record(self, tmp_path):
+        path = tmp_path / "partial.fasta"
+        path.write_text(">good\nAC\n>bad\nXX!\n")
+        records = []
+        with pytest.raises(ValueError):
+            for rec in read_fasta(path):
+                records.append(rec)
+        assert records == [("good", "AC")]

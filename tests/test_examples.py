@@ -64,6 +64,11 @@ class TestExamples:
         assert "bit-identical result" in out
         assert "graceful degradation ladder verified" in out
 
+    def test_checkpoint_resume(self, tmp_path):
+        out = run_example(tmp_path, "checkpoint_resume.py")
+        assert "resumed under 20% task-failure chaos: bit-identical" in out
+        assert "checkpoint/resume examples all passed" in out
+
     def test_diff_and_streaming(self, tmp_path):
         out = run_example(tmp_path, "diff_and_streaming.py")
         assert "unified diff" in out
