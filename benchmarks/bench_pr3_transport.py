@@ -1,0 +1,151 @@
+"""Transport comparison harness: pickle vs shared-memory bytes + time.
+
+Runs :func:`repro.core.combing.parallel.parallel_hybrid_combing_grid`
+on a real :class:`~repro.parallel.processes.ProcessMachine` under both
+transports, verifies every kernel against the sequential oracle, and
+writes a machine-readable ``BENCH_transport.json``::
+
+    {
+      "schema": "repro-bench-transport/1",
+      "commit": "<git hash or null>",
+      "workers": 4,
+      "runs": [
+        {"n": 8192, "transport": "shm", "bytes_shipped": ...,
+         "bytes_returned": ..., "wall_s": ..., "verified": true},
+        ...
+      ],
+      "reduction": {"8192": {"shipped_x": ..., "returned_x": ...}}
+    }
+
+Usage (also wired into the CI perf-smoke job)::
+
+    PYTHONPATH=src python benchmarks/bench_pr3_transport.py \
+        --sizes 2048 8192 --workers 4 --out BENCH_transport.json --check
+
+``--check`` exits non-zero if the shm transport ships at least as many
+bytes as pickle at any size — the perf-regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+
+def _commit_hash() -> str | None:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+        return out.stdout.strip()
+    except Exception:  # pragma: no cover - not a git checkout
+        return None
+
+
+def _inputs(n: int, seed: int = 2021) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 4, n), rng.integers(0, 4, n)
+
+
+def run_one(n: int, transport: str, workers: int) -> dict:
+    from repro.core.combing.iterative import iterative_combing_antidiag_simd
+    from repro.core.combing.parallel import parallel_hybrid_combing_grid
+    from repro.parallel import ProcessMachine
+
+    a, b = _inputs(n)
+    oracle = iterative_combing_antidiag_simd(a, b)
+    with ProcessMachine(workers=workers, transport=transport) as machine:
+        start = time.perf_counter()
+        kernel = parallel_hybrid_combing_grid(a, b, machine)
+        wall = time.perf_counter() - start
+        stats = machine.transport_stats()
+    return {
+        "n": n,
+        "transport": transport,
+        "transport_active": stats["transport_active"],
+        "bytes_shipped": stats["bytes_shipped"],
+        "bytes_returned": stats["bytes_returned"],
+        "wall_s": round(wall, 4),
+        "verified": bool(np.array_equal(kernel, oracle)),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--sizes", type=int, nargs="+", default=[2048, 8192])
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--out", default="BENCH_transport.json")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless shm ships strictly fewer bytes than pickle at every size",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.parallel import shared_memory_available
+
+    if not shared_memory_available():  # pragma: no cover - exotic platform
+        print("shared memory unavailable on this platform; nothing to compare")
+        return 1
+
+    runs = []
+    for n in args.sizes:
+        for transport in ("pickle", "shm"):
+            run = run_one(n, transport, args.workers)
+            runs.append(run)
+            print(
+                f"n={run['n']:>6} {run['transport']:>6}: "
+                f"shipped {run['bytes_shipped']:>12,} B, "
+                f"returned {run['bytes_returned']:>12,} B, "
+                f"{run['wall_s']:.3f}s, verified={run['verified']}"
+            )
+
+    reduction = {}
+    for n in args.sizes:
+        by = {r["transport"]: r for r in runs if r["n"] == n}
+        shipped_x = by["pickle"]["bytes_shipped"] / max(1, by["shm"]["bytes_shipped"])
+        returned_x = by["pickle"]["bytes_returned"] / max(1, by["shm"]["bytes_returned"])
+        reduction[str(n)] = {
+            "shipped_x": round(shipped_x, 2),
+            "returned_x": round(returned_x, 2),
+        }
+        print(f"n={n}: shm ships {shipped_x:.1f}x fewer bytes ({returned_x:.1f}x on return)")
+
+    report = {
+        "schema": "repro-bench-transport/1",
+        "commit": _commit_hash(),
+        "workers": args.workers,
+        "runs": runs,
+        "reduction": reduction,
+    }
+    with open(args.out, "w", encoding="ascii") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if not all(r["verified"] for r in runs):
+        print("FAIL: a kernel did not match the sequential oracle", file=sys.stderr)
+        return 1
+    if args.check:
+        for n, red in reduction.items():
+            if red["shipped_x"] <= 1.0:
+                print(
+                    f"FAIL: shm shipped >= pickle bytes at n={n} "
+                    f"(reduction {red['shipped_x']}x)",
+                    file=sys.stderr,
+                )
+                return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

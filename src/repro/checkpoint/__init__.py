@@ -36,7 +36,7 @@ from .grid import (
     GridCheckpointer,
 )
 from .journal import RunJournal, load_journal
-from .signals import flush_on_signals
+from .signals import cleanup_on_signals, flush_on_signals
 from .store import STORE_VERSION, KernelStore, kernel_key
 
 __all__ = [
@@ -50,4 +50,5 @@ __all__ = [
     "GRID_ALGORITHM",
     "DEFAULT_COMPOSE_MIN_ORDER",
     "flush_on_signals",
+    "cleanup_on_signals",
 ]

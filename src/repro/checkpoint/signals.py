@@ -1,20 +1,24 @@
-"""Flush checkpoint state on SIGINT/SIGTERM.
+"""Run cleanup hooks on SIGINT/SIGTERM.
 
 Every store artifact commits atomically the moment its node finishes,
 so the only in-flight state a dying process can lose is buffered journal
-bookkeeping. :func:`flush_on_signals` installs handlers that fsync the
-journal and exit with the conventional ``128 + signum`` status; the next
-run with ``--resume`` picks up from the last completed node. (SIGKILL
+bookkeeping — and, since the shared-memory transport (PR 3), named
+``/dev/shm`` segments that would otherwise outlive the process.
+:func:`cleanup_on_signals` installs handlers that run the given cleanup
+callables and exit with the conventional ``128 + signum`` status;
+:func:`flush_on_signals` is the checkpoint-specific wrapper (the next
+run with ``--resume`` picks up from the last completed node). SIGKILL
 cannot be caught — crash-resume still works because of the atomic
-per-node commits; the handlers just make *graceful* interruption lose
-nothing at all.)
+per-node commits, and leaked segments are reclaimed by the shared
+resource tracker; the handlers just make *graceful* interruption lose
+nothing at all.
 """
 
 from __future__ import annotations
 
 import signal
 from contextlib import contextmanager
-from typing import Iterator
+from typing import Callable, Iterator
 
 from .grid import GridCheckpointer
 
@@ -22,15 +26,24 @@ _SIGNALS = ("SIGINT", "SIGTERM")
 
 
 @contextmanager
-def flush_on_signals(checkpointer: GridCheckpointer) -> Iterator[None]:
-    """Within the block, SIGINT/SIGTERM flush *checkpointer* then exit.
+def cleanup_on_signals(*cleanups: Callable[[], None]) -> Iterator[None]:
+    """Within the block, SIGINT/SIGTERM run the *cleanups* in order, then
+    exit with ``128 + signum``. The cleanups also run on normal exit from
+    the block (they must be idempotent).
 
     No-op (but still a valid context) when not on the main thread or on
     platforms lacking a signal — installing handlers simply fails open.
     """
 
+    def run_cleanups() -> None:
+        for cleanup in cleanups:
+            try:
+                cleanup()
+            except Exception:  # pragma: no cover - cleanup is best effort
+                pass
+
     def handler(signum, frame):  # noqa: ARG001 - signal handler signature
-        checkpointer.flush()
+        run_cleanups()
         raise SystemExit(128 + signum)
 
     previous = {}
@@ -45,9 +58,16 @@ def flush_on_signals(checkpointer: GridCheckpointer) -> Iterator[None]:
     try:
         yield
     finally:
-        checkpointer.flush()
+        run_cleanups()
         for sig, old in previous.items():
             try:
                 signal.signal(sig, old)
             except (ValueError, OSError):  # pragma: no cover
                 pass
+
+
+@contextmanager
+def flush_on_signals(checkpointer: GridCheckpointer) -> Iterator[None]:
+    """Within the block, SIGINT/SIGTERM flush *checkpointer* then exit."""
+    with cleanup_on_signals(checkpointer.flush):
+        yield

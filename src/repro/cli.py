@@ -161,12 +161,25 @@ def _cmd_parallel(args) -> int:
         degrade_to_serial=not args.no_degrade,
         seed=args.seed,
     )
+    if args.transport == "shm" and args.backend != "processes":
+        raise ReproError(
+            "--transport shm requires --backend processes "
+            f"(got --backend {args.backend})"
+        )
+    if args.chaos_shm_loss_after is not None and args.transport != "shm":
+        raise ReproError("--chaos-shm-loss-after requires --transport shm")
     chaos = None
-    if args.chaos_fail_rate > 0 or args.chaos_delay_rate > 0 or args.chaos_abort_after is not None:
+    if (
+        args.chaos_fail_rate > 0
+        or args.chaos_delay_rate > 0
+        or args.chaos_abort_after is not None
+        or args.chaos_shm_loss_after is not None
+    ):
         chaos = {
             "fail_rate": args.chaos_fail_rate,
             "delay_rate": args.chaos_delay_rate,
             "abort_after": args.chaos_abort_after,
+            "shm_loss_after": args.chaos_shm_loss_after,
             "seed": args.seed,
         }
     store = ckpt = None
@@ -177,32 +190,50 @@ def _cmd_parallel(args) -> int:
                 f"(--algorithm hybrid); got {args.algorithm!r}"
             )
         store, ckpt = _make_checkpointer(args)
-    machine = make_machine(args.backend, workers=args.workers, policy=policy, chaos=chaos)
+    backend_kwargs = {"transport": args.transport} if args.backend == "processes" else {}
+    machine = make_machine(
+        args.backend, workers=args.workers, policy=policy, chaos=chaos, **backend_kwargs
+    )
     try:
-        ca, cb = encode(args.a), encode(args.b)
-        if args.algorithm == "hybrid":
-            if ckpt is not None:
-                from .checkpoint import flush_on_signals
+        from .checkpoint import cleanup_on_signals
+        from .parallel import release_all_arenas
 
-                with flush_on_signals(ckpt):
-                    perm = parallel_hybrid_combing_grid(ca, cb, machine, checkpoint=ckpt)
-                _print_checkpoint_stats(store)
-            else:
-                perm = parallel_hybrid_combing_grid(ca, cb, machine)
-        elif args.algorithm == "combing":
-            perm = parallel_iterative_combing(ca, cb, machine)
-        elif args.algorithm == "load-balanced":
-            perm = parallel_load_balanced_combing(ca, cb, machine)
-        else:  # steady-ant: comb the halves, multiply them in parallel
-            from .core.combing.hybrid import hybrid_combing
+        # SIGINT/SIGTERM must not leave named /dev/shm segments behind
+        with cleanup_on_signals(release_all_arenas):
+            ca, cb = encode(args.a), encode(args.b)
+            if args.algorithm == "hybrid":
+                if ckpt is not None:
+                    from .checkpoint import flush_on_signals
 
-            def multiply(p, q):
-                return steady_ant_parallel(p, q, machine=machine)
+                    with flush_on_signals(ckpt):
+                        perm = parallel_hybrid_combing_grid(ca, cb, machine, checkpoint=ckpt)
+                    _print_checkpoint_stats(store)
+                else:
+                    perm = parallel_hybrid_combing_grid(ca, cb, machine)
+            elif args.algorithm == "combing":
+                perm = parallel_iterative_combing(ca, cb, machine)
+            elif args.algorithm == "load-balanced":
+                perm = parallel_load_balanced_combing(ca, cb, machine)
+            else:  # steady-ant: comb the halves, multiply them in parallel
+                from .core.combing.hybrid import hybrid_combing
 
-            perm = hybrid_combing(ca, cb, depth=1, multiply=multiply)
-        k = SemiLocalKernel(perm, ca.size, cb.size, validate=False)
+                def multiply(p, q):
+                    return steady_ant_parallel(p, q, machine=machine)
+
+                perm = hybrid_combing(ca, cb, depth=1, multiply=multiply)
+            k = SemiLocalKernel(perm, ca.size, cb.size, validate=False)
         print(f"LCS(a, b) = {k.lcs_whole()}")
         print(f"backend: {args.backend} x{machine.workers}, elapsed {machine.elapsed:.4f}s")
+        transport_stats = getattr(machine, "transport_stats", None)
+        if transport_stats is not None and args.backend == "processes":
+            stats = transport_stats()
+            print(
+                f"transport: {stats.get('transport_active', args.transport)} "
+                f"(requested {stats.get('transport', args.transport)}), "
+                f"shipped {stats.get('bytes_shipped', 0)} B, "
+                f"returned {stats.get('bytes_returned', 0)} B, "
+                f"fallbacks {stats.get('transport_fallbacks', 0)}"
+            )
         health = getattr(machine, "health", None)
         if health is not None:
             for key, value in health().items():
@@ -386,6 +417,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution machine (default: serial)",
     )
     p.add_argument("--workers", type=int, default=2, help="worker count for real backends")
+    p.add_argument(
+        "--transport",
+        default="pickle",
+        choices=["pickle", "shm"],
+        help=(
+            "array transport for the processes backend: 'shm' broadcasts "
+            "inputs once into shared memory and ships compact handles "
+            "(default: pickle)"
+        ),
+    )
+    p.add_argument(
+        "--chaos-shm-loss-after",
+        type=int,
+        default=None,
+        metavar="N",
+        help="inject a shared-memory outage after N segment allocations (testing)",
+    )
     p.add_argument(
         "--task-timeout",
         type=float,

@@ -19,11 +19,120 @@ from __future__ import annotations
 import numpy as np
 
 from ...alphabet import encode, to_binary
+from ...parallel.transport import (
+    machine_broadcast,
+    machine_localize,
+    machine_release,
+    run_array_round,
+)
 from ...types import Sequenceish
 from .bitlcs import Variant, _triangle_masks
 from .words import MAX_WIDTH, WORD_DTYPE, pack_a_words, pack_b_words, popcount_words, word_mask
 
 _U = WORD_DTYPE
+
+
+def _bit_chunk(hv, vv, av, bv, mh, mv, variant, w):
+    """One contiguous run of blocks of a block-anti-diagonal, as a pure
+    function (shipped by spec to worker processes). Returns the updated
+    ``(h, v)`` word slices.
+
+    Within one round the blocks are independent, so the ``old`` variant's
+    re-gather-every-step memory pattern and plain local propagation
+    compute identical words — one body serves all three variants.
+    """
+    wmask = word_mask(w)
+    use_new2 = variant == "new2"
+    for sh, upper, mask in _triangle_masks(w):
+        shift = _U(sh)
+        if upper:
+            hs = hv >> shift
+            as_ = av >> shift
+            mfull = mask & (mh >> shift) & mv
+        else:
+            hs = (hv << shift) & wmask
+            as_ = (av << shift) & wmask
+            mfull = mask & ((mh << shift) & wmask) & mv
+        if use_new2:
+            s = as_ ^ bv
+            vv_old = vv
+            vv = (hs | (~mfull & wmask)) & (vv | (s & mfull))
+            patch = vv ^ vv_old
+            hv = hv ^ (((patch << shift) & wmask) if upper else (patch >> shift))
+        else:
+            s = (~(as_ ^ bv)) & wmask
+            c = mfull & (s | ((~hs & wmask) & vv))
+            vv_old = vv
+            vv = ((~c & wmask) & vv) | (c & hs)
+            if upper:
+                cb_ = (c << shift) & wmask
+                hv = ((~cb_ & wmask) & hv) | (cb_ & ((vv_old << shift) & wmask))
+            else:
+                cb_ = c >> shift
+                hv = ((~cb_ & wmask) & hv) | (cb_ & (vv_old >> shift))
+    return np.array(hv), np.array(vv)
+
+
+def _chunk_ranges(length: int, workers: int) -> list[tuple[int, int]]:
+    """Split ``[0, length)`` into up to *workers* contiguous spans."""
+    workers = max(1, min(workers, length))
+    base, extra = divmod(length, workers)
+    out, start = [], 0
+    for k in range(workers):
+        size = base + (1 if k < extra else 0)
+        if size:
+            out.append((start, start + size))
+        start += size
+    return out
+
+
+def _bit_remote_rounds(machine, h, v, a_words, b_words, a_valid, b_valid, variant, w):
+    """Run the block-anti-diagonal wavefront on a process machine.
+
+    The six word arrays broadcast once (shared-memory segments under the
+    shm transport); each round ships per-worker spans of the current
+    anti-diagonal as contiguous zero-copy slices, and the parent scatters
+    the small returned slices back into the broadcast views. Returns the
+    final ``h`` words as a local array.
+    """
+    ma, nb = a_words.size, b_words.size
+    bh, bv, baw, bbw, bav, bbv = machine_broadcast(
+        machine, h, v, a_words, b_words, a_valid, b_valid
+    )
+    try:
+        for d in range(ma + nb - 1):
+            i_lo = max(0, d - nb + 1)
+            i_hi = min(ma - 1, d)
+            # walk blocks by ascending word index l = ma-1-i so both the
+            # l-span and the j-span (j = d-i) are contiguous slices
+            l0 = ma - 1 - i_hi
+            j0 = d - i_hi
+            count = i_hi - i_lo + 1
+            spans = _chunk_ranges(count, machine.workers)
+            specs = [
+                (
+                    _bit_chunk,
+                    (
+                        bh[l0 + c0 : l0 + c1],
+                        bv[j0 + c0 : j0 + c1],
+                        baw[l0 + c0 : l0 + c1],
+                        bbw[j0 + c0 : j0 + c1],
+                        bav[l0 + c0 : l0 + c1],
+                        bbv[j0 + c0 : j0 + c1],
+                        variant,
+                        w,
+                    ),
+                    {},
+                )
+                for c0, c1 in spans
+            ]
+            outs = run_array_round(machine, specs)
+            for (c0, c1), (hv2, vv2) in zip(spans, outs):
+                bh[l0 + c0 : l0 + c1] = hv2
+                bv[j0 + c0 : j0 + c1] = vv2
+        return np.array(machine_localize(machine, bh))
+    finally:
+        machine_release(machine, bh, bv, baw, bbw, bav, bbv)
 
 
 def bit_lcs_parallel(
@@ -51,6 +160,15 @@ def bit_lcs_parallel(
     gather_each_step = variant == "old"
     if use_new2:
         a_words = (~a_words) & wmask
+
+    if getattr(machine, "remote_tasks", False):
+        # process machines cannot mutate the parent's h/v through thunk
+        # closures; run the wavefront through broadcast word arrays and
+        # spec rounds instead (bit-identical; see _bit_remote_rounds)
+        h_final = _bit_remote_rounds(
+            machine, h, v, a_words, b_words, a_valid, b_valid, variant, w
+        )
+        return m_pad - popcount_words(h_final, w)
 
     def chunk_thunk(ls, js):
         def thunk():

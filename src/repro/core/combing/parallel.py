@@ -21,17 +21,74 @@ from __future__ import annotations
 import numpy as np
 
 from ...alphabet import encode
+from ...parallel.transport import (
+    machine_broadcast,
+    machine_localize,
+    machine_release,
+    run_array_round,
+)
 from ...types import PermArray, Sequenceish
 from ..compose import compose_horizontal, compose_vertical
 from .hybrid import _split_lengths, optimal_split
 from .iterative import (
     _BLENDS,
+    _UNSIGNED_LIMIT_16,
     _antidiag_ranges,
     _extract_kernel,
     _flip_kernel,
     cut_positions,
     iterative_combing_antidiag_simd,
 )
+
+
+def _strands_dtype(m: int, n: int, use_16bit: bool):
+    """Strand-label dtype: ``uint16`` when every label fits (the paper's
+    SIMD-width optimization — here it also halves the bytes a real
+    process machine ships per round)."""
+    return np.uint16 if (use_16bit and m + n <= _UNSIGNED_LIMIT_16) else np.int64
+
+
+# -- picklable grid tasks (shipped to worker processes by spec) -------------
+
+
+def _compact_perm(perm: np.ndarray, compact: bool) -> np.ndarray:
+    """Downcast a kernel to ``uint16`` for the trip home when its values
+    fit; consumers upcast on entry and the final result is restored to
+    ``int64``."""
+    if compact and perm.size <= _UNSIGNED_LIMIT_16:
+        return perm.astype(np.uint16)
+    return perm
+
+
+def _grid_leaf(ca_blk, cb_blk, blend, use_16bit, compact):
+    perm = iterative_combing_antidiag_simd(
+        ca_blk, cb_blk, blend=blend, use_16bit_when_possible=use_16bit
+    )
+    return _compact_perm(perm, compact)
+
+
+def _grid_compose_h(p, q, rows, n_left, n_right, multiply, compact):
+    out = compose_horizontal(
+        np.asarray(p, dtype=np.int64),
+        np.asarray(q, dtype=np.int64),
+        rows,
+        n_left,
+        n_right,
+        multiply,
+    )
+    return _compact_perm(out, compact)
+
+
+def _grid_compose_v(p, q, m_top, m_bottom, cols, multiply, compact):
+    out = compose_vertical(
+        np.asarray(p, dtype=np.int64),
+        np.asarray(q, dtype=np.int64),
+        m_top,
+        m_bottom,
+        cols,
+        multiply,
+    )
+    return _compact_perm(out, compact)
 
 
 def _chunks(length: int, workers: int) -> list[tuple[int, int]]:
@@ -69,6 +126,7 @@ def parallel_iterative_combing(
     machine,
     *,
     blend: str = "where",
+    use_16bit: bool = False,
 ) -> PermArray:
     """Listing 4: wavefront combing, one synchronized round per
     anti-diagonal.
@@ -77,19 +135,25 @@ def parallel_iterative_combing(
     so each round is submitted as a *uniform round* (one vectorized batch
     whose cost the machine divides across its workers); see
     :meth:`repro.parallel.api.Machine.run_uniform_round`.
+
+    ``use_16bit`` stores strand labels as ``uint16`` whenever
+    ``m + n <= 2^16``; the kernel returned is ``int64`` either way.
     """
     ca, cb = encode(a), encode(b)
     if ca.size > cb.size:
         return _flip_kernel(
-            parallel_iterative_combing(cb, ca, machine, blend=blend), cb.size, ca.size
+            parallel_iterative_combing(cb, ca, machine, blend=blend, use_16bit=use_16bit),
+            cb.size,
+            ca.size,
         )
     m, n = ca.size, cb.size
     if m == 0 or n == 0:
         return np.arange(m + n, dtype=np.int64)
     select = _BLENDS[blend]
     a_rev = np.ascontiguousarray(ca[::-1])
-    h_strands = np.arange(m, dtype=np.int64)
-    v_strands = np.arange(m, m + n, dtype=np.int64)
+    dt = _strands_dtype(m, n, use_16bit)
+    h_strands = np.arange(m, dtype=dt)
+    v_strands = np.arange(m, m + n, dtype=dt)
     for length, h_lo, v_lo in _antidiag_ranges(m, n):
         thunk = _make_chunk_thunk(
             a_rev, cb, h_strands, v_strands, h_lo, v_lo, 0, length, select
@@ -105,6 +169,7 @@ def parallel_load_balanced_combing(
     *,
     blend: str = "where",
     multiply=None,
+    use_16bit: bool = False,
 ) -> PermArray:
     """Fig. 2: phases 1 and 3 combed concurrently with balanced rounds.
 
@@ -113,11 +178,16 @@ def parallel_load_balanced_combing(
     and splits the union into ``workers`` chunks; the middle phase runs
     its full-length anti-diagonals as ordinary rounds. The three phase
     braids are then composed by braid multiplication (serial sections).
+
+    ``use_16bit`` stores the phase strand states as ``uint16`` whenever
+    ``m + n <= 2^16``; the kernel returned is ``int64`` either way.
     """
     ca, cb = encode(a), encode(b)
     if ca.size > cb.size:
         return _flip_kernel(
-            parallel_load_balanced_combing(cb, ca, machine, blend=blend, multiply=multiply),
+            parallel_load_balanced_combing(
+                cb, ca, machine, blend=blend, multiply=multiply, use_16bit=use_16bit
+            ),
             cb.size,
             ca.size,
         )
@@ -128,6 +198,7 @@ def parallel_load_balanced_combing(
         from ..steady_ant import steady_ant_multiply as multiply
     select = _BLENDS[blend]
     a_rev = np.ascontiguousarray(ca[::-1])
+    dt = _strands_dtype(m, n, use_16bit)
 
     cuts = [0, max(0, m - 1), n, m + n - 1]
 
@@ -136,7 +207,7 @@ def parallel_load_balanced_combing(
     states = {}
     for phase, (d_lo, d_hi) in enumerate(zip(cuts, cuts[1:]), start=1):
         h_in, v_in = cut_positions(d_lo, m, n)
-        states[phase] = (h_in.copy(), v_in.copy(), d_lo, d_hi)
+        states[phase] = (h_in.astype(dt), v_in.astype(dt), d_lo, d_hi)
 
     def diag_slices(d):
         i_lo = max(0, d - n + 1)
@@ -237,24 +308,54 @@ def parallel_hybrid_combing_grid(
         if finished is not None:
             return finished
 
-    def leaf_thunk(i, j):
-        def thunk():
-            return iterative_combing_antidiag_simd(
-                ca[a_offs[i] : a_offs[i + 1]],
-                cb[b_offs[j] : b_offs[j + 1]],
-                blend=blend,
-                use_16bit_when_possible=use_16bit,
-            )
+    # The non-checkpoint path ships pure (fn, args, kwargs) specs:
+    # process machines run them in workers (the input sequences broadcast
+    # once as shared-memory segments, results travelling back as handles),
+    # in-process machines run the identical partials locally. The
+    # checkpoint path keeps thunks: CheckpointedThunk carries durable
+    # state that cannot ship to a worker process.
+    use_spec = checkpoint is None
+    compact = bool(use_16bit)
 
-        if checkpoint is not None:
+    if use_spec:
+        bca, bcb = machine_broadcast(machine, ca, cb)
+        flat = run_array_round(
+            machine,
+            [
+                (
+                    _grid_leaf,
+                    (
+                        bca[a_offs[i] : a_offs[i + 1]],
+                        bcb[b_offs[j] : b_offs[j + 1]],
+                        blend,
+                        use_16bit,
+                        compact,
+                    ),
+                    {},
+                )
+                for i in range(m_outer)
+                for j in range(n_outer)
+            ],
+        )
+        # the encoded inputs are only read by the leaf round
+        machine_release(machine, bca, bcb)
+    else:
+
+        def leaf_thunk(i, j):
+            def thunk():
+                return iterative_combing_antidiag_simd(
+                    ca[a_offs[i] : a_offs[i + 1]],
+                    cb[b_offs[j] : b_offs[j + 1]],
+                    blend=blend,
+                    use_16bit_when_possible=use_16bit,
+                )
+
             return checkpoint.leaf_thunk(
                 ca[a_offs[i] : a_offs[i + 1]], cb[b_offs[j] : b_offs[j + 1]], thunk
             )
-        return thunk
 
-    leaf_tasks = [leaf_thunk(i, j) for i in range(m_outer) for j in range(n_outer)]
-    flat = machine.run_round(leaf_tasks)
-    if checkpoint is not None:
+        leaf_tasks = [leaf_thunk(i, j) for i in range(m_outer) for j in range(n_outer)]
+        flat = machine.run_round(leaf_tasks)
         for i in range(m_outer):
             for j in range(n_outer):
                 checkpoint.record_leaf(i, j, leaf_tasks[i * n_outer + j].key)
@@ -273,22 +374,43 @@ def parallel_hybrid_combing_grid(
             row_reduction = (m / m_outer) >= (n / n_outer)
         thunks = []
         placements = []
+        consumed = []
         if row_reduction:
             for i in range(m_outer):
                 for jj, j in enumerate(range(0, n_outer - 1, 2)):
-                    compute = lambda i=i, j=j: compose_horizontal(
-                        grid[i][j], grid[i][j + 1], a_lens[i], b_lens[j], b_lens[j + 1], multiply
-                    )
-                    if checkpoint is not None:
+                    if use_spec:
+                        thunks.append(
+                            (
+                                _grid_compose_h,
+                                (
+                                    grid[i][j],
+                                    grid[i][j + 1],
+                                    a_lens[i],
+                                    b_lens[j],
+                                    b_lens[j + 1],
+                                    multiply,
+                                    compact,
+                                ),
+                                {},
+                            )
+                        )
+                        consumed += [grid[i][j], grid[i][j + 1]]
+                    else:
+                        compute = lambda i=i, j=j: compose_horizontal(
+                            grid[i][j], grid[i][j + 1], a_lens[i], b_lens[j], b_lens[j + 1], multiply
+                        )
                         compute = checkpoint.compose_thunk(
                             ca[cur_a_offs[i] : cur_a_offs[i + 1]],
                             cb[cur_b_offs[j] : cur_b_offs[j + 2]],
                             compute,
                         ) or compute
-                    thunks.append(compute)
+                        thunks.append(compute)
                     placements.append((i, jj))
-            results = machine.run_round(thunks)
-            if checkpoint is not None:
+            if use_spec:
+                results = run_array_round(machine, thunks)
+                machine_release(machine, *consumed)
+            else:
+                results = machine.run_round(thunks)
                 for node_index, t in enumerate(thunks):
                     if hasattr(t, "key"):
                         checkpoint.record_compose(level, node_index, t.key)
@@ -306,19 +428,39 @@ def parallel_hybrid_combing_grid(
         else:
             for ii, i in enumerate(range(0, m_outer - 1, 2)):
                 for j in range(n_outer):
-                    compute = lambda i=i, j=j: compose_vertical(
-                        grid[i][j], grid[i + 1][j], a_lens[i], a_lens[i + 1], b_lens[j], multiply
-                    )
-                    if checkpoint is not None:
+                    if use_spec:
+                        thunks.append(
+                            (
+                                _grid_compose_v,
+                                (
+                                    grid[i][j],
+                                    grid[i + 1][j],
+                                    a_lens[i],
+                                    a_lens[i + 1],
+                                    b_lens[j],
+                                    multiply,
+                                    compact,
+                                ),
+                                {},
+                            )
+                        )
+                        consumed += [grid[i][j], grid[i + 1][j]]
+                    else:
+                        compute = lambda i=i, j=j: compose_vertical(
+                            grid[i][j], grid[i + 1][j], a_lens[i], a_lens[i + 1], b_lens[j], multiply
+                        )
                         compute = checkpoint.compose_thunk(
                             ca[cur_a_offs[i] : cur_a_offs[i + 2]],
                             cb[cur_b_offs[j] : cur_b_offs[j + 1]],
                             compute,
                         ) or compute
-                    thunks.append(compute)
+                        thunks.append(compute)
                     placements.append((ii, j))
-            results = machine.run_round(thunks)
-            if checkpoint is not None:
+            if use_spec:
+                results = run_array_round(machine, thunks)
+                machine_release(machine, *consumed)
+            else:
+                results = machine.run_round(thunks)
                 for node_index, t in enumerate(thunks):
                     if hasattr(t, "key"):
                         checkpoint.record_compose(level, node_index, t.key)
@@ -333,6 +475,12 @@ def parallel_hybrid_combing_grid(
             ] + ([a_lens[-1]] if m_outer % 2 else [])
             grid, a_lens, m_outer = new_grid, new_a_lens, new_m
 
+    result = grid[0][0]
+    if use_spec:
+        local = machine_localize(machine, result)
+        machine_release(machine, result)
+        result = local
+    result = np.asarray(result, dtype=np.int64)
     if checkpoint is not None:
-        checkpoint.finish(ca, cb, grid[0][0])
-    return grid[0][0]
+        checkpoint.finish(ca, cb, result)
+    return result

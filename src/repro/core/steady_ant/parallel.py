@@ -16,12 +16,11 @@ combines are shipped to real worker processes.
 
 from __future__ import annotations
 
-from functools import partial
-
 import numpy as np
 
 from ...errors import ShapeMismatchError
 from ...parallel.api import SerialMachine
+from ...parallel.transport import machine_localize, machine_release, run_array_round
 from ...types import PermArray
 from ._core import combine, split_p, split_q
 from .combined import steady_ant_combined
@@ -78,21 +77,19 @@ def steady_ant_parallel(
         split_meta.append(meta_level)
         leaves = next_leaves
 
-    # one parallel round of leaf multiplications
-    if hasattr(machine, "run_round_spec"):
-        results = machine.run_round_spec(
-            [(leaf_multiply, (sp, sq), {}) for sp, sq in leaves]
-        )
-    else:
-        results = machine.run_round(
-            [partial(leaf_multiply, sp, sq) for sp, sq in leaves]
-        )
+    # one parallel round of leaf multiplications; on a shared-memory
+    # process machine the leaf results come back as segment handles and
+    # feed the combine rounds without re-shipping
+    results = run_array_round(
+        machine, [(leaf_multiply, (sp, sq), {}) for sp, sq in leaves]
+    )
 
     # combine back up, one round per level
     for meta_level in reversed(split_meta):
         merged = []
-        thunks = []
+        specs = []
         slots = []
+        eaten: list = []
         consumed = 0
         for meta in meta_level:
             if meta is None:
@@ -104,16 +101,17 @@ def steady_ant_parallel(
             consumed += 2
             slots.append(len(merged))
             merged.append(None)
-            thunks.append(
-                partial(_combine_expanded, r_lo, r_hi, rows_lo, cols_lo, rows_hi, cols_hi, nn)
+            specs.append(
+                (_combine_expanded, (r_lo, r_hi, rows_lo, cols_lo, rows_hi, cols_hi, nn), {})
             )
-        if thunks:
-            if hasattr(machine, "run_round_spec"):
-                outs = machine.run_round_spec([(t.func, t.args, {}) for t in thunks])
-            else:
-                outs = machine.run_round(thunks)
+            eaten += [r_lo, r_hi]
+        if specs:
+            outs = run_array_round(machine, specs)
+            machine_release(machine, *eaten)
             for slot, out in zip(slots, outs):
                 merged[slot] = out
         results = merged
 
-    return results[0]
+    out = machine_localize(machine, results[0])
+    machine_release(machine, results[0])
+    return np.asarray(out, dtype=np.int64)

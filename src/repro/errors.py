@@ -51,6 +51,14 @@ class TaskTimeoutError(BackendError, TimeoutError):
         self.task_index = task_index
 
 
+class SharedMemoryUnavailableError(BackendError):
+    """Raised when the zero-copy shared-memory transport cannot allocate
+    or attach segments (unsupported platform, exhausted ``/dev/shm``, or
+    a chaos-injected loss). Machines catch it internally and degrade to
+    pickle transport; it only escapes when shared memory was explicitly
+    required."""
+
+
 class RoundFailedError(BackendError):
     """Raised when a parallel round cannot be completed within its
     :class:`~repro.parallel.resilient.FaultPolicy` (retries exhausted and
@@ -87,3 +95,8 @@ class ReproWarning(UserWarning):
 class DegradedExecutionWarning(ReproWarning):
     """Emitted (once per machine) when a :class:`ResilientMachine` gives up
     on its parallel backend and falls back to serial execution."""
+
+
+class TransportFallbackWarning(ReproWarning):
+    """Emitted (once per machine) when the shared-memory transport is
+    unavailable or lost and the machine degrades to pickle transport."""

@@ -38,11 +38,21 @@ from __future__ import annotations
 
 from ..errors import BackendError
 from .api import Machine, SerialMachine
-from .chaos import ChaosError, ChaosMachine, ChaosProcessDeath
+from .chaos import ChaosError, ChaosMachine, ChaosProcessDeath, ChaosSharedMemoryLoss
 from .processes import ProcessMachine
 from .resilient import FaultPolicy, ResilientMachine
 from .simulator import SimulatedMachine
 from .threads import ThreadMachine
+from .transport import (
+    ArrayHandle,
+    SharedArena,
+    machine_broadcast,
+    machine_localize,
+    machine_release,
+    release_all_arenas,
+    run_array_round,
+    shared_memory_available,
+)
 
 #: backend name -> constructor used by :func:`make_machine`
 MACHINE_KINDS = ("serial", "threads", "processes", "simulated")
@@ -59,7 +69,9 @@ def make_machine(
     """Build an execution machine by name, optionally fault-wrapped.
 
     *kind* is one of :data:`MACHINE_KINDS`. Extra ``kwargs`` go to the
-    backend constructor (e.g. ``schedule=`` for the simulator).
+    backend constructor (e.g. ``schedule=`` for the simulator, or
+    ``transport="shm"`` for the zero-copy shared-memory transport of
+    :class:`~repro.parallel.processes.ProcessMachine`).
 
     - ``chaos`` — keyword arguments for
       :class:`~repro.parallel.chaos.ChaosMachine` (``fail_rate``,
@@ -101,6 +113,15 @@ __all__ = [
     "ChaosMachine",
     "ChaosError",
     "ChaosProcessDeath",
+    "ChaosSharedMemoryLoss",
+    "SharedArena",
+    "ArrayHandle",
+    "shared_memory_available",
+    "machine_broadcast",
+    "machine_localize",
+    "machine_release",
+    "run_array_round",
+    "release_all_arenas",
     "MACHINE_KINDS",
     "make_machine",
 ]

@@ -25,7 +25,7 @@ import random
 import time
 from typing import Callable, Sequence
 
-from ..errors import BackendError, WorkerCrashError
+from ..errors import BackendError, SharedMemoryUnavailableError, WorkerCrashError
 from .api import SerialMachine, Thunk
 
 
@@ -37,6 +37,20 @@ class ChaosError(BackendError):
         self.task_index = task_index
 
 
+class ChaosSharedMemoryLoss(SharedMemoryUnavailableError):
+    """An injected shared-memory outage.
+
+    Raised by a :class:`~repro.parallel.transport.SharedArena` armed with
+    ``fail_after`` (see :meth:`ChaosMachine`'s ``shm_loss_after`` and
+    ``ProcessMachine.inject_shm_loss``) the moment the configured number
+    of segment allocations is exceeded. Because it subclasses
+    :class:`~repro.errors.SharedMemoryUnavailableError`, the machine's
+    normal fallback catches it and degrades to pickle transport — the
+    tests assert the degraded path produces identical kernels rather
+    than assuming it.
+    """
+
+
 class ChaosProcessDeath(BaseException):
     """A simulated abrupt process death (crash mid-run).
 
@@ -46,6 +60,16 @@ class ChaosProcessDeath(BaseException):
     combing run after an arbitrary prefix of completed tasks and then
     prove resume-from-disk is bit-identical.
     """
+
+
+def _raise_chaos(index: int):
+    """Picklable stand-in for a spec task fated to fail."""
+    raise ChaosError(f"chaos: injected failure in task {index}", task_index=index)
+
+
+def _raise_worker_crash(index: int):
+    """Picklable stand-in for a spec task fated to crash its worker."""
+    raise WorkerCrashError(f"chaos: simulated worker crash in task {index}", task_index=index)
 
 
 class ChaosMachine:
@@ -61,7 +85,18 @@ class ChaosMachine:
       that (being a ``BaseException``) rips through retries and
       degradation like a real process death, for checkpoint/resume
       testing;
+    - ``shm_loss_after`` — arm the inner machine's shared-memory
+      transport (it must expose ``inject_shm_loss``, i.e. be a
+      ``ProcessMachine`` or wrap one) to raise
+      :class:`ChaosSharedMemoryLoss` after that many segment
+      allocations, forcing the degraded-to-pickle transport path;
     - ``seed`` — the deterministic fault stream.
+
+    Spec rounds (``run_round_spec`` / ``run_round_arrays``) ship to
+    worker processes, so faults are injected by *substituting* a
+    module-level raiser for the task's function — ``fail`` and ``crash``
+    are supported there, ``delay`` and ``abort_after`` apply to
+    in-process thunk rounds only.
 
     ``fault_log`` records ``(execution_index, task_index, kind)`` for
     every injected fault, for determinism assertions in tests.
@@ -76,6 +111,7 @@ class ChaosMachine:
         delay_rate: float = 0.0,
         delay: float = 0.01,
         abort_after: int | None = None,
+        shm_loss_after: int | None = None,
         seed: int = 0,
     ):
         for name, rate in (
@@ -89,11 +125,23 @@ class ChaosMachine:
             raise ValueError("fail_rate + crash_rate must be <= 1")
         if abort_after is not None and abort_after < 0:
             raise ValueError("abort_after must be >= 0 (or None)")
+        if shm_loss_after is not None and shm_loss_after < 0:
+            raise ValueError("shm_loss_after must be >= 0 (or None)")
         self.abort_after = abort_after
         self._completed = 0
         self.inner = inner if inner is not None else SerialMachine()
         self.workers = self.inner.workers
         self.remote_tasks = getattr(self.inner, "remote_tasks", False)
+        self.supports_task_timeout = getattr(self.inner, "supports_task_timeout", False)
+        if shm_loss_after is not None:
+            inject = getattr(self.inner, "inject_shm_loss", None)
+            if inject is None:
+                raise BackendError(
+                    "shm_loss_after requires an inner machine with a "
+                    "shared-memory transport (ProcessMachine(transport='shm'))"
+                )
+            inject(shm_loss_after)
+        self.shm_loss_after = shm_loss_after
         self.fail_rate = fail_rate
         self.crash_rate = crash_rate
         self.delay_rate = delay_rate
@@ -150,15 +198,60 @@ class ChaosMachine:
 
         return chaotic
 
+    def _wrap_spec(self, spec, index: int):
+        """Fault-inject a ``(fn, args, kwargs)`` spec by substituting a
+        picklable module-level raiser (spec rounds run out-of-process, so
+        closures cannot carry the fault)."""
+        fault, _ = self._plan(index)
+        execution = self._executions
+        self._executions += 1
+        if fault == "crash":
+            self.injected_crashes += 1
+            self.fault_log.append((execution, index, "crash"))
+            return (_raise_worker_crash, (index,), {})
+        if fault == "fail":
+            self.injected_failures += 1
+            self.fault_log.append((execution, index, "fail"))
+            return (_raise_chaos, (index,), {})
+        return spec
+
     # -- protocol ------------------------------------------------------
 
-    def run_round(self, thunks: Sequence[Thunk]) -> list:
-        return self.inner.run_round([self._wrap(t, i) for i, t in enumerate(thunks)])
+    def run_round(self, thunks: Sequence[Thunk], **kw) -> list:
+        return self.inner.run_round([self._wrap(t, i) for i, t in enumerate(thunks)], **kw)
 
     def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
         return self.inner.run_uniform_round(
             [(self._wrap(t, i), n) for i, (t, n) in enumerate(tasks)]
         )
+
+    #: transport surface passed straight through to the inner machine;
+    #: resolved via ``__getattr__`` so capability probes (``hasattr``)
+    #: reflect what the inner machine actually supports
+    _PASSTHROUGH = (
+        "broadcast",
+        "localize",
+        "release_arrays",
+        "inject_shm_loss",
+        "transport_active",
+        "transport_stats",
+        "bytes_shipped",
+        "bytes_returned",
+    )
+
+    def __getattr__(self, name):
+        if name == "inner":  # guard against recursion during __init__
+            raise AttributeError(name)
+        if name in ("run_round_spec", "run_round_arrays"):
+            inner_fn = getattr(self.inner, name)  # AttributeError: capability absent
+
+            def fault_injected(specs, **kw):
+                return inner_fn([self._wrap_spec(s, i) for i, s in enumerate(specs)], **kw)
+
+            return fault_injected
+        if name in self._PASSTHROUGH:
+            return getattr(self.inner, name)
+        raise AttributeError(name)
 
     def run_serial(self, thunk: Thunk):
         return self.inner.run_serial(self._wrap(thunk, 0))

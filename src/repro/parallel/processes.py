@@ -2,8 +2,25 @@
 
 Bypasses the GIL with OS processes. Tasks must be picklable — the
 coarse-grained call sites (steady-ant subtasks, hybrid sub-grid combing)
-submit module-level functions with NumPy-array arguments, so pickling
-cost is O(task data), amortized over O(n log n) work per task.
+submit module-level functions with NumPy-array arguments.
+
+Two transports move array data (``transport=`` constructor knob):
+
+- ``"pickle"`` — every argument and result is serialized per task,
+  paying O(task data) both ways on every round (the historical default);
+- ``"shm"`` — a :class:`~repro.parallel.transport.SharedArena` holds the
+  arrays in named shared-memory segments; :meth:`broadcast` places the
+  encoded inputs once, tasks ship compact
+  :class:`~repro.parallel.transport.ArrayHandle` slices, and workers
+  publish large results as fresh segments the parent adopts. Falls back
+  to pickle transport (with a :class:`~repro.errors.TransportFallbackWarning`,
+  once) when shared memory is unavailable or chaos-injected away.
+
+Either way, :meth:`run_round_arrays` submits the round in *chunks* (one
+future per chunk) to amortize executor overhead, and counts the exact
+serialized bytes shipped to (``bytes_shipped``) and returned from
+(``bytes_returned``) the workers — the counters the transport benchmark
+(`benchmarks/bench_pr3_transport.py`) compares across transports.
 
 Failure semantics (the contract the resilience layer builds on):
 
@@ -11,22 +28,40 @@ Failure semantics (the contract the resilience layer builds on):
   round (fail fast, no dangling siblings);
 - a dead worker process (``BrokenExecutor``) is wrapped as
   :class:`~repro.errors.WorkerCrashError` with the failing task index,
-  and a result wait exceeding ``timeout`` as
+  and a result wait exceeding the *round deadline* (``timeout`` seconds
+  after the round started, shared across the in-order waits — not
+  per-task, which would let a k-task round wait k x timeout) as
   :class:`~repro.errors.TaskTimeoutError`; genuine task exceptions
   propagate unchanged (annotated with the task index);
-- :meth:`rebuild` replaces a broken executor with a fresh one;
-- :meth:`close` is idempotent and cancels queued work.
+- :meth:`rebuild` replaces a broken executor with a fresh one (the
+  arena and its segments survive — workers re-attach lazily);
+- :meth:`close` is idempotent, cancels queued work and unlinks every
+  arena segment.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
+import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Sequence
 
-from ..errors import BackendError, TaskTimeoutError, WorkerCrashError
+import numpy as np
+
+from ..errors import (
+    BackendError,
+    SharedMemoryUnavailableError,
+    TaskTimeoutError,
+    TransportFallbackWarning,
+    WorkerCrashError,
+)
 from .api import Thunk
+from .transport import ARENA_MIN_BYTES, ArrayHandle, SharedArena, run_chunk
+
+#: specs per worker submitted as one future (executor-overhead amortization)
+CHUNKS_PER_WORKER = 2
 
 
 def _call(payload: tuple[Callable, tuple, dict]) -> Any:
@@ -34,13 +69,19 @@ def _call(payload: tuple[Callable, tuple, dict]) -> Any:
     return fn(*args, **kwargs)
 
 
+def _chunk_sizes(n: int, chunks: int) -> list[int]:
+    chunks = max(1, min(chunks, n))
+    base, extra = divmod(n, chunks)
+    return [base + (1 if k < extra else 0) for k in range(chunks)]
+
+
 class ProcessMachine:
     """Executes rounds on a shared ``ProcessPoolExecutor``.
 
     ``run_round`` accepts either zero-argument thunks (must be picklable —
     prefer ``functools.partial`` over closures) or ``(fn, args, kwargs)``
-    triples via :meth:`run_round_spec`. ``timeout`` bounds the wait for
-    each task's result (seconds).
+    triples via :meth:`run_round_spec` / :meth:`run_round_arrays`.
+    ``timeout`` bounds the whole round (seconds from submission).
     """
 
     #: advertises preemptive per-task timeouts to the resilience layer
@@ -48,14 +89,119 @@ class ProcessMachine:
     #: tasks run in worker processes: results cannot be captured in-process
     remote_tasks = True
 
-    def __init__(self, workers: int = 2):
+    def __init__(self, workers: int = 2, *, transport: str = "pickle"):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if transport not in ("pickle", "shm"):
+            raise BackendError(f"unknown transport {transport!r}; use 'shm' or 'pickle'")
         self.workers = workers
+        self.transport = transport
         self._pool: ProcessPoolExecutor | None = ProcessPoolExecutor(max_workers=workers)
+        self._arena: SharedArena | None = None
+        self._shm_lost = False
+        self._fallback_warned = False
+        self._shm_fail_after: int | None = None
         self._elapsed = 0.0
         self.rounds = 0
         self.tasks = 0
+        self.bytes_shipped = 0
+        self.bytes_returned = 0
+        self.last_round_shipped = 0
+        self.last_round_returned = 0
+        self.transport_fallbacks = 0
+
+    # -- transport -----------------------------------------------------
+
+    @property
+    def transport_active(self) -> str:
+        """The transport actually in use (``"shm"`` may have degraded)."""
+        if self.transport == "shm" and not self._shm_lost:
+            return "shm"
+        return "pickle"
+
+    def _arena_or_none(self) -> SharedArena | None:
+        """The live arena, creating it lazily; ``None`` once degraded."""
+        if self.transport != "shm" or self._shm_lost:
+            return None
+        if self._arena is None:
+            try:
+                self._arena = SharedArena(fail_after=self._shm_fail_after)
+            except SharedMemoryUnavailableError as exc:
+                self._lose_shm(exc)
+                return None
+        return self._arena
+
+    def _lose_shm(self, exc: Exception) -> None:
+        """Degrade to pickle transport; existing arena views stay valid."""
+        self._shm_lost = True
+        self.transport_fallbacks += 1
+        if not self._fallback_warned:
+            self._fallback_warned = True
+            warnings.warn(
+                f"shared-memory transport unavailable ({exc}); "
+                "falling back to pickle transport",
+                TransportFallbackWarning,
+                stacklevel=4,
+            )
+
+    def inject_shm_loss(self, after: int) -> None:
+        """Arm the chaos fault: shared memory 'disappears' after *after*
+        successful segment allocations (see ``ChaosMachine``)."""
+        self._shm_fail_after = after
+        if self._arena is not None:
+            self._arena.fail_after = after
+
+    def broadcast(self, *arrays: np.ndarray) -> tuple:
+        """Place *arrays* into shared memory once; return arena-backed
+        views whose (slices') handles ship for free. Identity under
+        pickle transport or after shared-memory loss."""
+        arena = self._arena_or_none()
+        if arena is None:
+            return arrays
+        out = []
+        for arr in arrays:
+            try:
+                out.append(arena.put(np.asarray(arr)))
+            except SharedMemoryUnavailableError as exc:
+                self._lose_shm(exc)
+                out.append(arr)
+        return tuple(out)
+
+    def localize(self, arr):
+        """Copy *arr* out of the arena (it would die with :meth:`close`)."""
+        if (
+            isinstance(arr, np.ndarray)
+            and self._arena is not None
+            and self._arena.handle_of(arr) is not None
+        ):
+            return np.array(arr)
+        return arr
+
+    def release_arrays(self, arrays) -> None:
+        """Refcounted release of the segments backing *arrays* (no-op for
+        local arrays). Call only when no later round ships them again."""
+        if self._arena is None:
+            return
+        for arr in arrays:
+            if isinstance(arr, np.ndarray):
+                self._arena.release_array(arr)
+
+    def transport_stats(self) -> dict:
+        """Byte counters exposing the data-movement cost of the run."""
+        stats = {
+            "transport": self.transport,
+            "transport_active": self.transport_active,
+            "bytes_shipped": self.bytes_shipped,
+            "bytes_returned": self.bytes_returned,
+            "last_round_shipped": self.last_round_shipped,
+            "last_round_returned": self.last_round_returned,
+            "transport_fallbacks": self.transport_fallbacks,
+        }
+        if self._arena is not None:
+            stats["arena"] = self._arena.stats()
+        return stats
+
+    # -- execution -----------------------------------------------------
 
     def _require_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -63,20 +209,32 @@ class ProcessMachine:
         return self._pool
 
     def _collect(self, futures: list, timeout: float | None) -> list:
-        """Gather results in order; on the first failure cancel every
-        remaining future and raise a wrapped, index-carrying error."""
+        """Gather results in order against a single round deadline; on the
+        first failure cancel every remaining future and raise a wrapped,
+        index-carrying error.
+
+        ``timeout`` is the budget for the *round*: the deadline is fixed
+        when collection starts and shared across the in-order waits, so a
+        round of k tasks can never wait k x timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         results = []
         try:
             for i, f in enumerate(futures):
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
                 try:
-                    results.append(f.result(timeout=timeout))
+                    results.append(f.result(timeout=remaining))
                 except BrokenExecutor as exc:
                     raise WorkerCrashError(
                         f"worker process died while executing task {i}", task_index=i
                     ) from exc
                 except FutureTimeoutError as exc:
                     raise TaskTimeoutError(
-                        f"task {i} result not ready within {timeout}s", task_index=i
+                        f"task {i} result not ready within the round deadline "
+                        f"({timeout}s)",
+                        task_index=i,
                     ) from exc
                 except Exception as exc:
                     if hasattr(exc, "add_note"):  # 3.11+; requires-python is 3.10
@@ -114,6 +272,107 @@ class ProcessMachine:
             self.tasks += len(specs)
         return results
 
+    # -- array transport rounds ----------------------------------------
+
+    def _pack_arg(self, obj, arena: SharedArena | None, ephemerals: list[str]):
+        """Replace a large array argument with a shared-memory handle.
+
+        Arena-backed views (broadcast slices, adopted results) map to
+        handles for free; other large arrays are copied into ephemeral
+        segments released when the round ends. Small arrays and
+        non-array values ship pickled.
+        """
+        if arena is None or not isinstance(obj, np.ndarray):
+            return obj
+        handle = arena.handle_of(obj)
+        if handle is not None:
+            return handle
+        if obj.nbytes < ARENA_MIN_BYTES:
+            return obj
+        view = arena.put(obj)
+        handle = arena.handle_of(view)
+        ephemerals.append(handle.name)
+        return handle
+
+    def run_round_arrays(
+        self, specs: Sequence[tuple[Callable, tuple, dict]], *, timeout: float | None = None
+    ) -> list:
+        """One round of ``(fn, args, kwargs)`` specs with array transport.
+
+        Array arguments travel as shared-memory handles (shm transport)
+        or serialized values (pickle transport / after fallback); the
+        round is submitted as chunks of specs, one future per chunk, and
+        large array results come back as adopted shared segments.
+        """
+        pool = self._require_pool()
+        specs = list(specs)
+        start = time.perf_counter()
+        shipped = returned = 0
+        ephemerals: list[str] = []
+        try:
+            if not specs:
+                return []
+            arena = self._arena_or_none()
+            packed = []
+            for fn, args, kwargs in specs:
+                try:
+                    packed.append(
+                        (
+                            fn,
+                            tuple(self._pack_arg(a, arena, ephemerals) for a in args),
+                            {
+                                k: self._pack_arg(v, arena, ephemerals)
+                                for k, v in kwargs.items()
+                            },
+                        )
+                    )
+                except SharedMemoryUnavailableError as exc:
+                    self._lose_shm(exc)
+                    arena = None
+                    packed.append((fn, tuple(args), dict(kwargs)))
+            share_prefix = arena.prefix if arena is not None else None
+            sizes = _chunk_sizes(len(packed), self.workers * CHUNKS_PER_WORKER)
+            futures = []
+            offsets = []
+            pos = 0
+            for size in sizes:
+                payload = pickle.dumps((packed[pos : pos + size], share_prefix))
+                shipped += len(payload)
+                futures.append(pool.submit(run_chunk, payload))
+                offsets.append(pos)
+                pos += size
+            raw = self._collect(futures, timeout)
+            results: list[Any] = []
+            for offset, blob in zip(offsets, raw):
+                returned += len(blob)
+                status, *rest = pickle.loads(blob)
+                if status == "err":
+                    local_i, exc = rest
+                    for f in futures:
+                        f.cancel()
+                    if hasattr(exc, "add_note"):
+                        exc.add_note(
+                            f"raised by task {offset + local_i} of a "
+                            f"{len(specs)}-task round"
+                        )
+                    raise exc
+                for item in rest[0]:
+                    if isinstance(item, ArrayHandle):
+                        item = self._arena.adopt(item)
+                    results.append(item)
+            return results
+        finally:
+            if self._arena is not None:
+                for name in ephemerals:
+                    self._arena.release(name)
+            self.bytes_shipped += shipped
+            self.bytes_returned += returned
+            self.last_round_shipped = shipped
+            self.last_round_returned = returned
+            self._elapsed += time.perf_counter() - start
+            self.rounds += 1
+            self.tasks += len(specs)
+
     def run_uniform_round(self, tasks):
         """Uniform rounds degrade to plain rounds on real machines (the
         vectorized batch cannot be split post hoc)."""
@@ -133,9 +392,18 @@ class ProcessMachine:
         self._elapsed = 0.0
         self.rounds = 0
         self.tasks = 0
+        self.bytes_shipped = 0
+        self.bytes_returned = 0
+        self.last_round_shipped = 0
+        self.last_round_returned = 0
 
     def rebuild(self) -> None:
-        """Replace the executor (e.g. after a ``BrokenProcessPool``)."""
+        """Replace the executor (e.g. after a ``BrokenProcessPool``).
+
+        The arena and its segments survive: live handles stay resolvable
+        and the fresh workers re-attach lazily. (Mappings held by the old
+        workers die with their processes.)
+        """
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
@@ -144,6 +412,9 @@ class ProcessMachine:
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
             self._pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "ProcessMachine":
         return self

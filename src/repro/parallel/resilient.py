@@ -134,7 +134,8 @@ class ResilientMachine:
         self._sleep = sleep
         self._rng = random.Random(self.policy.seed)
         self._preemptive_timeout = bool(getattr(self.inner, "supports_task_timeout", False))
-        self._can_capture = not getattr(self.inner, "remote_tasks", False)
+        self.remote_tasks = bool(getattr(self.inner, "remote_tasks", False))
+        self._can_capture = not self.remote_tasks
         self._permanent_serial = False
         self._warned = False
         self.retries = 0
@@ -192,6 +193,42 @@ class ResilientMachine:
             n=len(specs),
             done={},
         )
+
+    def run_round_arrays(self, specs: Sequence[tuple[Callable, tuple, dict]]) -> list:
+        specs = list(specs)
+        if not hasattr(self.inner, "run_round_arrays"):
+            return self.run_round([partial(fn, *args, **kwargs) for fn, args, kwargs in specs])
+        # like run_round_spec: array specs are pure triples whose ndarray
+        # arguments live in parent memory (arena views included), so both
+        # re-execution and the in-process serial fallback are safe
+        return self._execute(
+            whole=lambda: self._inner_arrays(specs),
+            single=lambda i: self._inner_arrays([specs[i]])[0],
+            serial=lambda: self._serial.run_round(
+                [partial(fn, *args, **kwargs) for fn, args, kwargs in specs]
+            ),
+            n=len(specs),
+            done={},
+        )
+
+    # -- transport surface (delegated; harmless no-ops without one) ----
+
+    def broadcast(self, *arrays):
+        fn = getattr(self.inner, "broadcast", None)
+        return fn(*arrays) if fn is not None else tuple(arrays)
+
+    def localize(self, arr):
+        fn = getattr(self.inner, "localize", None)
+        return fn(arr) if fn is not None else arr
+
+    def release_arrays(self, arrays) -> None:
+        fn = getattr(self.inner, "release_arrays", None)
+        if fn is not None:
+            fn(arrays)
+
+    def transport_stats(self) -> dict:
+        fn = getattr(self.inner, "transport_stats", None)
+        return fn() if fn is not None else {}
 
     def run_serial(self, thunk: Thunk):
         return self._execute(
@@ -315,6 +352,11 @@ class ResilientMachine:
         if self._preemptive_timeout and self.policy.task_timeout is not None:
             return self.inner.run_round_spec(specs, timeout=self.policy.task_timeout)
         return self.inner.run_round_spec(specs)
+
+    def _inner_arrays(self, specs) -> list:
+        if self._preemptive_timeout and self.policy.task_timeout is not None:
+            return self.inner.run_round_arrays(specs, timeout=self.policy.task_timeout)
+        return self.inner.run_round_arrays(specs)
 
     def _execute(self, *, whole, single, serial, n, done, unwrap=False, recover=None):
         """One round: try *whole*; recover unfinished tasks via *single*;

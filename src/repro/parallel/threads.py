@@ -46,13 +46,21 @@ class ThreadMachine:
         try:
             futures = [self._pool.submit(t) for t in thunks]
             results = []
+            # a single round deadline shared across the in-order waits —
+            # per-task timeouts would let a k-task round wait k x timeout
+            deadline = None if timeout is None else time.monotonic() + timeout
             try:
                 for i, f in enumerate(futures):
+                    remaining = (
+                        None if deadline is None else max(0.0, deadline - time.monotonic())
+                    )
                     try:
-                        results.append(f.result(timeout=timeout))
+                        results.append(f.result(timeout=remaining))
                     except FutureTimeoutError as exc:
                         raise TaskTimeoutError(
-                            f"task {i} result not ready within {timeout}s", task_index=i
+                            f"task {i} result not ready within the round deadline "
+                            f"({timeout}s)",
+                            task_index=i,
                         ) from exc
             except BaseException:
                 for f in futures:

@@ -118,6 +118,17 @@ class TestThreadMachineFailureSemantics:
             with pytest.raises(TaskTimeoutError):
                 m.run_round([lambda: time.sleep(5)], timeout=0.1)
 
+    def test_timeout_is_a_round_deadline_not_per_task(self):
+        """4 x 0.12s tasks on 1 worker: each individual wait stays under a
+        0.25s timeout, but the round as a whole cannot — per-task
+        sequential timeouts would (wrongly) let this pass."""
+        with ThreadMachine(workers=1) as m:
+            start = time.monotonic()
+            with pytest.raises(TaskTimeoutError):
+                m.run_round([lambda: time.sleep(0.12) for _ in range(4)], timeout=0.25)
+            # and it must trip at the deadline, not after 4 x 0.25s
+            assert time.monotonic() - start < 1.0
+
     def test_close_is_idempotent(self):
         m = ThreadMachine(workers=1)
         m.close()
