@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Fail when the public API is missing docstrings.
+
+The CI docs job runs this before building the reference::
+
+    PYTHONPATH=src python docs/check_docstrings.py
+
+Checks every module in :data:`docs.gen_api.PUBLIC_MODULES`: public
+functions, public classes, their public methods and ``__init__``
+(``__init__`` may inherit documentation from the class docstring —
+only flagged when the class is undocumented too). Exits 1 listing
+every undocumented symbol.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from gen_api import PUBLIC_MODULES  # noqa: E402
+
+
+def missing_docstrings() -> list[str]:
+    """``module:qualname`` of every undocumented public symbol."""
+    missing = []
+    for dotted in PUBLIC_MODULES:
+        mod = importlib.import_module(dotted)
+        if not inspect.getdoc(mod):
+            missing.append(f"{dotted}:<module>")
+        for name, obj in vars(mod).items():
+            if name.startswith("_"):
+                continue
+            if getattr(obj, "__module__", None) != dotted:
+                continue
+            if inspect.isfunction(obj):
+                if not inspect.getdoc(obj):
+                    missing.append(f"{dotted}:{name}")
+            elif inspect.isclass(obj):
+                cls_doc = inspect.getdoc(obj)
+                if not cls_doc:
+                    missing.append(f"{dotted}:{name}")
+                for mname, member in vars(obj).items():
+                    if mname.startswith("_") and mname != "__init__":
+                        continue
+                    fn = member.fget if isinstance(member, property) else member
+                    if not inspect.isfunction(fn):
+                        continue
+                    if mname == "__init__":
+                        if not inspect.getdoc(fn) and not cls_doc:
+                            missing.append(f"{dotted}:{name}.__init__")
+                        continue
+                    if not inspect.getdoc(fn):
+                        missing.append(f"{dotted}:{name}.{mname}")
+    return missing
+
+
+def main() -> int:
+    missing = missing_docstrings()
+    for symbol in missing:
+        print(f"missing docstring: {symbol}")
+    if missing:
+        print(f"{len(missing)} undocumented public symbol(s)", file=sys.stderr)
+        return 1
+    print(f"all public symbols documented ({len(PUBLIC_MODULES)} modules)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -44,7 +44,7 @@ from ..core.steady_ant.parallel import steady_ant_parallel
 from ..datasets.genomes import virus_pair
 from ..datasets.synthetic import binary_pair, synthetic_pair
 from ..parallel.simulator import SimulatedMachine
-from .harness import BenchTable, scaled, time_call
+from .harness import BenchTable, scaled, time_call, with_phase_notes
 
 DEFAULT_THREADS = (1, 2, 3, 4, 5, 6, 7, 8)
 
@@ -58,6 +58,7 @@ def _sim_factory(workers: int) -> SimulatedMachine:
 # ---------------------------------------------------------------------------
 
 
+@with_phase_notes
 def fig4a_braid_mult_optimizations(
     sizes: Sequence[int] | None = None, *, repeats: int = 3, seed: int = 0
 ) -> BenchTable:
@@ -81,6 +82,7 @@ def fig4a_braid_mult_optimizations(
     return table
 
 
+@with_phase_notes
 def fig4b_parallel_braid_mult(
     n: int | None = None,
     thresholds: Sequence[int] = (0, 1, 2, 3, 4, 5, 6),
@@ -106,6 +108,7 @@ def fig4b_parallel_braid_mult(
     return table
 
 
+@with_phase_notes
 def fig4c_load_balanced_overhead(
     sizes: Sequence[int] | None = None, *, repeats: int = 3, sigma: float = 1.0, seed: int = 0
 ) -> BenchTable:
@@ -147,6 +150,7 @@ def fig4c_load_balanced_overhead(
 # ---------------------------------------------------------------------------
 
 
+@with_phase_notes
 def fig5_semilocal_vs_prefix(
     lengths: Sequence[int] | None = None,
     *,
@@ -185,6 +189,7 @@ def fig5_semilocal_vs_prefix(
     return table
 
 
+@with_phase_notes
 def fig5_real_genomes(
     presets: Sequence[str] = ("phage-ms2", "hiv"), *, repeats: int = 2, seed: int = 0
 ) -> BenchTable:
@@ -206,6 +211,7 @@ def fig5_real_genomes(
     return table
 
 
+@with_phase_notes
 def fig5_blend_ablation(
     n: int | None = None, *, sigmas: Sequence[float] = (0.5, 1.0, 4.0), repeats: int = 2, seed: int = 0
 ) -> BenchTable:
@@ -238,6 +244,7 @@ def fig5_blend_ablation(
 # ---------------------------------------------------------------------------
 
 
+@with_phase_notes
 def fig6_hybrid_threshold(
     lengths: Sequence[int] | None = None,
     depths: Sequence[int] = (0, 1, 2, 3, 4, 5),
@@ -278,6 +285,7 @@ _PARALLEL_SEMILOCAL = {
 }
 
 
+@with_phase_notes
 def fig7_threads(
     n: int | None = None,
     threads: Sequence[int] = DEFAULT_THREADS,
@@ -305,6 +313,7 @@ def fig7_threads(
     return table
 
 
+@with_phase_notes
 def fig8_scalability(
     n: int | None = None,
     threads: Sequence[int] = DEFAULT_THREADS,
@@ -343,6 +352,7 @@ def fig8_scalability(
 # ---------------------------------------------------------------------------
 
 
+@with_phase_notes
 def fig9a_bit_memory_optimization(
     n: int | None = None,
     threads: Sequence[int] = (1, 2, 4, 8, 16),
@@ -374,6 +384,7 @@ def fig9a_bit_memory_optimization(
     return table
 
 
+@with_phase_notes
 def fig9b_bit_formula_optimization(
     n: int | None = None, *, repeats: int = 3, seed: int = 0
 ) -> BenchTable:
@@ -392,6 +403,7 @@ def fig9b_bit_formula_optimization(
     return table
 
 
+@with_phase_notes
 def fig9cd_binary_scalability(
     n: int | None = None,
     threads: Sequence[int] = (1, 2, 4, 8),
@@ -429,6 +441,7 @@ def fig9cd_binary_scalability(
     return table
 
 
+@with_phase_notes
 def fig9e_bit_vs_semilocal(
     n: int | None = None, *, repeats: int = 2, seed: int = 0
 ) -> BenchTable:

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import functools
 import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
+
+from ..obs import phase_breakdown, reset_phases
 
 
 def bench_scale(default: float = 1.0) -> float:
@@ -33,6 +36,38 @@ def time_call(fn: Callable[[], Any], *, repeats: int = 3, warmup: int = 1) -> fl
     return best
 
 
+def phase_note_lines() -> list[str]:
+    """Render the accumulated per-phase breakdown as table-note lines.
+
+    One line per phase recorded since the last :func:`reset_phases`:
+    call count, wall seconds, CPU seconds (see ``repro.obs.profile``).
+    """
+    return [
+        f"phase {name}: calls={rec['calls']} "
+        f"wall={rec['wall_s']:.4g}s cpu={rec['cpu_s']:.4g}s"
+        for name, rec in sorted(phase_breakdown().items())
+    ]
+
+
+def with_phase_notes(fn: Callable[..., "BenchTable"]) -> Callable[..., "BenchTable"]:
+    """Decorator for figure entry points: record phase breakdowns.
+
+    Resets the phase accumulators, runs the figure, and appends the
+    per-phase wall/CPU breakdown to the returned table's notes — so
+    every figure reports where its time went alongside the totals.
+    """
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        reset_phases()
+        table = fn(*args, **kwargs)
+        for line in phase_note_lines():
+            table.note(line)
+        return table
+
+    return wrapper
+
+
 @dataclass
 class BenchTable:
     """Rows of measurements, printable as an aligned text table.
@@ -47,11 +82,13 @@ class BenchTable:
     notes: list[str] = field(default_factory=list)
 
     def add(self, *values) -> None:
+        """Append one row (must match the column count)."""
         if len(values) != len(self.columns):
             raise ValueError(f"expected {len(self.columns)} values, got {len(values)}")
         self.rows.append(tuple(values))
 
     def note(self, text: str) -> None:
+        """Append a footnote line (rendered as ``# text``)."""
         self.notes.append(text)
 
     def _fmt(self, v) -> str:
@@ -60,6 +97,7 @@ class BenchTable:
         return str(v)
 
     def render(self) -> str:
+        """The table as aligned monospace text with footnotes."""
         cells = [[self._fmt(v) for v in row] for row in self.rows]
         widths = [
             max(len(str(c)), *(len(r[k]) for r in cells)) if cells else len(str(c))

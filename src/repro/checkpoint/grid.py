@@ -179,6 +179,11 @@ class GridCheckpointer:
         self, i: int, j: int, ca_blk: np.ndarray, cb_blk: np.ndarray,
         compute: Callable[[], PermArray],
     ) -> PermArray:
+        """Compute (or resume) grid leaf ``(i, j)`` and persist it.
+
+        *ca_blk*/*cb_blk* are the encoded sub-strings of the block;
+        *compute* is the bare combing. The result commits to the store
+        the moment it exists and the journal records the node."""
         key = self.store.key(ca_blk, cb_blk, self.algorithm)
         perm = self.store.get_or_compute(
             key, compute, algorithm=self.algorithm, m=ca_blk.size, n=cb_blk.size,
@@ -192,6 +197,11 @@ class GridCheckpointer:
         self, level: int, index: int, ca_slice: np.ndarray, cb_slice: np.ndarray,
         compute: Callable[[], PermArray],
     ) -> PermArray:
+        """Compute (or resume) reduction node *index* of *level*.
+
+        Nodes whose kernel order ``m + n`` is below
+        ``compose_min_order`` are recomputed rather than persisted
+        (cheaper than the disk round-trip)."""
         if ca_slice.size + cb_slice.size < self.compose_min_order:
             return compute()
         key = self.store.key(ca_slice, cb_slice, self.algorithm)
@@ -208,6 +218,10 @@ class GridCheckpointer:
     def leaf_thunk(
         self, ca_blk: np.ndarray, cb_blk: np.ndarray, compute: Callable[[], PermArray]
     ) -> CheckpointedThunk:
+        """Wrap a leaf computation for submission to a parallel machine;
+        the thunk persists its own result as it completes (the
+        coordinating thread records the journal entry afterwards via
+        :meth:`record_leaf`)."""
         return CheckpointedThunk(
             self.store, self.store.key(ca_blk, cb_blk, self.algorithm), compute,
             algorithm=self.algorithm, m=ca_blk.size, n=cb_blk.size, read=self.resume,
@@ -226,9 +240,11 @@ class GridCheckpointer:
         )
 
     def record_leaf(self, i: int, j: int, key: str) -> None:
+        """Journal leaf ``(i, j)`` as complete (coordinating thread only)."""
         if self.journal is not None:
             self.journal.record_leaf(i, j, key)
 
     def record_compose(self, level: int, index: int, key: str) -> None:
+        """Journal reduction node ``(level, index)`` as complete."""
         if self.journal is not None:
             self.journal.record_compose(level, index, key)

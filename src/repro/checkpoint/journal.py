@@ -109,6 +109,8 @@ class RunJournal:
             self._fh.flush()
 
     def record_leaf(self, i: int, j: int, key: str) -> None:
+        """Append a leaf-completion record (idempotent per ``(i, j)``).
+        Thread-safe: appends hold the journal lock."""
         if (i, j) in self.completed_leaves:
             return
         self.completed_leaves.add((i, j))
@@ -116,6 +118,7 @@ class RunJournal:
         self._append({"type": "leaf", "i": i, "j": j, "key": key})
 
     def record_compose(self, level: int, index: int, key: str) -> None:
+        """Append a compose-completion record (idempotent per node)."""
         if (level, index) in self.completed_composes:
             return
         self.completed_composes.add((level, index))
@@ -123,6 +126,7 @@ class RunJournal:
         self._append({"type": "compose", "level": level, "index": index, "key": key})
 
     def record_done(self, key: str) -> None:
+        """Mark the whole run complete (root kernel under *key*) and fsync."""
         self.done = True
         self._append({"type": "done", "key": key})
         self.flush()
@@ -135,6 +139,7 @@ class RunJournal:
                 os.fsync(self._fh.fileno())
 
     def close(self) -> None:
+        """Close the journal file; later appends become silent no-ops."""
         with self._lock:
             if self._fh is not None:
                 self._fh.close()
@@ -144,9 +149,11 @@ class RunJournal:
 
     @property
     def n_leaves(self) -> int:
+        """Total leaf count of the grid recorded in the header."""
         return len(self.header.get("a_lens", ())) * len(self.header.get("b_lens", ()))
 
     def summary(self) -> dict:
+        """Progress snapshot: grid shape, leaves/composes done, done flag."""
         return {
             "run": self.header.get("run", ""),
             "m": self.header.get("m"),
@@ -201,6 +208,9 @@ def make_header(
     algorithm: str,
     version: int,
 ) -> dict:
+    """Build the journal's first record: problem shape, grid split,
+    algorithm name and store format *version* (used to detect stale
+    journals after format changes)."""
     return {
         "run": run_id,
         "m": int(m),

@@ -43,6 +43,7 @@ import numpy as np
 
 from ..core.permutation import perm_from_bytes, perm_to_bytes
 from ..errors import CheckpointCorruptionError, CheckpointError
+from ..obs.metrics import inc as _metric_inc
 from ..types import PermArray
 
 #: Bump to invalidate every previously written artifact (key + manifest
@@ -149,9 +150,12 @@ class KernelStore:
         return self.objects / key[:2] / f"{key}.json"
 
     def journal_path(self, run_id: str):
+        """Path of the run journal named *run_id* under ``runs/``."""
         return self.runs / f"{run_id}.jsonl"
 
     def key(self, ca: np.ndarray, cb: np.ndarray, algorithm: str) -> str:
+        """Content-addressed key for (encoded inputs, algorithm) — see
+        :func:`kernel_key`."""
         return kernel_key(ca, cb, algorithm)
 
     # -- write ---------------------------------------------------------
@@ -181,6 +185,8 @@ class KernelStore:
         _atomic_write(self._manifest_path(key), json.dumps(manifest, sort_keys=True).encode("ascii"))
         with self._lock:
             self.writes += 1
+        _metric_inc("checkpoint.writes", 1)
+        _metric_inc("checkpoint.bytes_written", len(payload))
 
     # -- read ----------------------------------------------------------
 
@@ -233,15 +239,18 @@ class KernelStore:
             self._payload_path(key).unlink(missing_ok=True)
             with self._lock:
                 self.misses += 1
+            _metric_inc("checkpoint.misses", 1)
             return None
         try:
             perm = self._load_verified(key)
         except CheckpointCorruptionError:
             with self._lock:
                 self.corrupt += 1
+            _metric_inc("checkpoint.corrupt", 1)
             raise
         with self._lock:
             self.hits += 1
+        _metric_inc("checkpoint.hits", 1)
         return perm
 
     def get_or_compute(

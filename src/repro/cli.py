@@ -9,6 +9,8 @@ Subcommands
 - ``braid A B`` — ASCII sticky-braid cell map and kernel (Fig. 1),
 - ``diff OLD NEW`` — line diff of two files,
 - ``trace A B`` — bit-parallel anti-diagonal trace (Fig. 3),
+- ``trace export RAW [-o OUT]`` — convert a raw span stream (written
+  with ``--trace-raw``) to Chrome trace_event JSON (Perfetto-viewable),
 - ``parallel A B`` — semi-local LCS on a parallel backend with a fault
   policy (``--task-timeout``, ``--retries``, ``--no-degrade``) and
   optional chaos injection,
@@ -21,6 +23,13 @@ Subcommands
 (durably persist every grid node as it completes; SIGINT/SIGTERM flush
 in-flight state) and ``--resume`` (reuse verified artifacts from a
 previous — possibly crashed — run).
+
+``semilocal``, ``parallel``, ``bit`` and ``bench`` accept the
+observability flags ``--trace FILE`` (Chrome trace_event JSON),
+``--trace-raw FILE`` (lossless JSONL span stream), ``--metrics-out
+FILE`` (counters/gauges/histograms + phase breakdown; see
+docs/metrics.md) and ``--profile`` (print the phase breakdown to
+stderr). See the "Observability & profiling" section of the README.
 
 Library errors (:class:`~repro.errors.ReproError`, bad input files)
 exit with status 2 and a one-line message, not a traceback.
@@ -125,6 +134,22 @@ def _cmd_braid(args) -> int:
 
 
 def _cmd_trace(args) -> int:
+    from .errors import ReproError
+
+    if args.a == "export":
+        from .obs import read_raw, write_chrome_trace
+
+        if not args.b:
+            raise ReproError(
+                "trace export requires a raw span file (written with --trace-raw)"
+            )
+        events = read_raw(args.b)
+        out = args.output or "trace.json"
+        write_chrome_trace(out, events)
+        print(f"wrote {len(events)} span(s) to {out}")
+        return 0
+    if args.b is None:
+        raise ReproError("trace requires two binary strings A B")
     from .core.bitparallel.trace import format_snapshots
 
     print(format_snapshots(args.a, args.b))
@@ -222,6 +247,9 @@ def _cmd_parallel(args) -> int:
 
                 perm = hybrid_combing(ca, cb, depth=1, multiply=multiply)
             k = SemiLocalKernel(perm, ca.size, cb.size, validate=False)
+        from .obs import collect_machine
+
+        collect_machine(machine)
         print(f"LCS(a, b) = {k.lcs_whole()}")
         print(f"backend: {args.backend} x{machine.workers}, elapsed {machine.elapsed:.4f}s")
         transport_stats = getattr(machine, "transport_stats", None)
@@ -332,6 +360,31 @@ def _cmd_checkpoint(args) -> int:
     return 0
 
 
+def _add_obs_args(p: argparse.ArgumentParser) -> None:
+    """Attach the shared observability flags to a subcommand parser."""
+    g = p.add_argument_group("observability")
+    g.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace_event JSON of the run (open in Perfetto)",
+    )
+    g.add_argument(
+        "--trace-raw",
+        metavar="FILE",
+        help="write the lossless raw span stream (JSONL; see 'trace export')",
+    )
+    g.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="write the metrics registry + phase breakdown as JSON",
+    )
+    g.add_argument(
+        "--profile",
+        action="store_true",
+        help="print the per-phase wall/CPU breakdown to stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-lcs",
@@ -351,7 +404,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("semilocal", help="semi-local LCS queries")
     p.add_argument("a")
     p.add_argument("b")
-    p.add_argument("--algorithm", default="semi_antidiag_simd")
+    p.add_argument(
+        "--algorithm",
+        default="semi_hybrid_iterative",
+        help=(
+            "kernel algorithm (default: semi_hybrid_iterative, the grid "
+            "combing of Listing 7; see repro.semilocal_lcs for the registry)"
+        ),
+    )
     p.add_argument("--h-matrix", action="store_true", help="print the full H matrix")
     p.add_argument(
         "--query",
@@ -369,12 +429,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse verified artifacts from a previous run in --checkpoint-dir",
     )
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_semilocal)
 
     p = sub.add_parser("bit", help="bit-parallel LCS of binary strings")
     p.add_argument("a")
     p.add_argument("b")
     p.add_argument("--variant", default="new2", choices=["old", "new1", "new2"])
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_bit)
 
     p = sub.add_parser("braid", help="show the sticky braid of a pair (Fig. 1)")
@@ -383,9 +445,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--svg", help="write an SVG rendering to this path")
     p.set_defaults(fn=_cmd_braid)
 
-    p = sub.add_parser("trace", help="bit-parallel anti-diagonal trace (Fig. 3)")
-    p.add_argument("a")
-    p.add_argument("b")
+    p = sub.add_parser(
+        "trace",
+        help="bit-parallel anti-diagonal trace (Fig. 3), or 'trace export RAW'",
+        description=(
+            "trace A B: print the bit-parallel anti-diagonal snapshots of two "
+            "binary strings. trace export RAW: convert a raw span stream "
+            "(written with --trace-raw) into Chrome trace_event JSON that "
+            "Perfetto (https://ui.perfetto.dev) can open."
+        ),
+    )
+    p.add_argument("a", help="binary string A, or the word 'export'")
+    p.add_argument("b", nargs="?", help="binary string B, or the raw JSONL span file")
+    p.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="export: output path for the Chrome trace (default: trace.json)",
+    )
     p.set_defaults(fn=_cmd_trace)
 
     p = sub.add_parser("diff", help="line diff of two files (LCS-based)")
@@ -484,10 +562,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reuse verified artifacts from a previous run in --checkpoint-dir",
     )
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_parallel)
 
     p = sub.add_parser("bench", help="run a figure benchmark ('bench list')")
     p.add_argument("name")
+    _add_obs_args(p)
     p.set_defaults(fn=_cmd_bench)
 
     p = sub.add_parser("genomes", help="generate simulated virus strains (FASTA)")
@@ -528,9 +608,24 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     from .errors import AlphabetError, ReproError
+    from .obs import observed, phase_breakdown
 
     try:
-        return args.fn(args)
+        with observed(
+            trace=getattr(args, "trace", None),
+            trace_raw=getattr(args, "trace_raw", None),
+            metrics_out=getattr(args, "metrics_out", None),
+            profile=getattr(args, "profile", False),
+        ):
+            code = args.fn(args)
+        if getattr(args, "profile", False):
+            for name, rec in sorted(phase_breakdown().items()):
+                print(
+                    f"phase {name}: calls={rec['calls']} "
+                    f"wall={rec['wall_s']:.4f}s cpu={rec['cpu_s']:.4f}s",
+                    file=sys.stderr,
+                )
+        return code
     except (ReproError, AlphabetError, FileNotFoundError, ValueError) as exc:
         print(f"repro-lcs: error: {exc}", file=sys.stderr)
         return 2

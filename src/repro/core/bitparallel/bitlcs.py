@@ -28,6 +28,7 @@ import numpy as np
 
 from ...alphabet import encode, to_binary
 from ...errors import ShapeMismatchError
+from ...obs import get_metrics
 from ...types import Sequenceish
 from .words import (
     MAX_WIDTH,
@@ -81,6 +82,7 @@ def bit_lcs(
     m, n = ca.size, cb.size
     if m == 0 or n == 0:
         return 0
+    get_metrics().inc("bitparallel.calls", 1)
     a_words, a_valid, m_pad = pack_a_words(ca, w)
     b_words, b_valid, n_pad = pack_b_words(cb, w)
     ma = a_words.size

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from ...alphabet import encode, to_binary
+from ...obs import get_metrics, get_tracer, phase
 from ...parallel.transport import (
     machine_broadcast,
     machine_localize,
@@ -143,15 +144,32 @@ def bit_lcs_parallel(
     variant: Variant = "new2",
     w: int = MAX_WIDTH,
 ) -> int:
-    """Bit-parallel LCS with one parallel round per block-anti-diagonal."""
+    """Bit-parallel LCS with one parallel round per block-anti-diagonal.
+
+    Observability: wrapped in the ``bitparallel`` phase and a
+    ``bitparallel.wavefront`` span; ``bitparallel.rounds`` counts the
+    block-anti-diagonal rounds and ``bitparallel.blocks`` the word
+    blocks they cover. The per-round loop itself is too hot to
+    instrument individually.
+    """
     ca = to_binary(a) if isinstance(a, str) else encode(a)
     cb = to_binary(b) if isinstance(b, str) else encode(b)
     m, n = ca.size, cb.size
     if m == 0 or n == 0:
         return 0
+    with phase("bitparallel"), get_tracer().span(
+        "bitparallel.wavefront", args={"m": m, "n": n, "variant": variant}
+    ):
+        return _bit_lcs_parallel_impl(ca, cb, machine, variant, w)
+
+
+def _bit_lcs_parallel_impl(ca, cb, machine, variant: Variant, w: int) -> int:
     a_words, a_valid, m_pad = pack_a_words(ca, w)
     b_words, b_valid, n_pad = pack_b_words(cb, w)
     ma, nb = a_words.size, b_words.size
+    metrics = get_metrics()
+    metrics.inc("bitparallel.rounds", ma + nb - 1)
+    metrics.inc("bitparallel.blocks", ma * nb)
     h = np.full(ma, word_mask(w), dtype=WORD_DTYPE)
     v = np.zeros(nb, dtype=WORD_DTYPE)
     steps = _triangle_masks(w)

@@ -25,6 +25,7 @@ import math
 import numpy as np
 
 from ...alphabet import encode
+from ...obs import get_metrics, get_tracer, phase
 from ...types import PermArray, Sequenceish
 from ..compose import compose_horizontal, compose_vertical
 from .iterative import iterative_combing_antidiag_simd
@@ -71,7 +72,8 @@ def hybrid_combing(
     """
     if multiply is None:
         from ..steady_ant import steady_ant_multiply as multiply
-    return _rec(encode(a), encode(b), depth, multiply, blend, use_16bit, on_leaf)
+    with phase("combing"), get_tracer().span("combing.hybrid", args={"depth": depth}):
+        return _rec(encode(a), encode(b), depth, multiply, blend, use_16bit, on_leaf)
 
 
 # ---------------------------------------------------------------------------
@@ -150,7 +152,37 @@ def hybrid_combing_grid(
     every reduction compose above the checkpointer's size threshold) is
     durably persisted as it completes, and a resumed run loads completed
     nodes from disk instead of recomputing them.
+
+    Observability: wrapped in the ``combing`` phase and a
+    ``combing.grid`` span; sub-block combings count in
+    ``combing.grid_leaves`` (compositions count in
+    ``combing.grid_composes`` via :func:`repro.core.compose.compose_vertical`).
     """
+    with phase("combing"), get_tracer().span(
+        "combing.grid", args={"n_tasks": n_tasks, "reduction": reduction}
+    ):
+        return _hybrid_combing_grid_impl(
+            a, b, n_tasks,
+            multiply=multiply, blend=blend, use_16bit=use_16bit,
+            strand_limit=strand_limit, reduction=reduction,
+            on_leaf=on_leaf, on_compose=on_compose, checkpoint=checkpoint,
+        )
+
+
+def _hybrid_combing_grid_impl(
+    a: Sequenceish,
+    b: Sequenceish,
+    n_tasks: int = 8,
+    *,
+    multiply=None,
+    blend: str = "where",
+    use_16bit: bool = True,
+    strand_limit: int | None = None,
+    reduction: str = "longest-side",
+    on_leaf=None,
+    on_compose=None,
+    checkpoint=None,
+) -> PermArray:
     if reduction not in ("longest-side", "rows-first", "cols-first"):
         raise ValueError(f"unknown reduction heuristic {reduction!r}")
     ca, cb = encode(a), encode(b)
@@ -174,6 +206,7 @@ def hybrid_combing_grid(
 
     # comb every sub-block independently (the parallel taskloop); each
     # leaf checkpoints the moment it finishes
+    get_metrics().inc("combing.grid_leaves", m_outer * n_outer)
     grid = []
     for i in range(m_outer):
         row = []

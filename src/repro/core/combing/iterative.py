@@ -41,6 +41,7 @@ from typing import Literal
 import numpy as np
 
 from ...alphabet import encode
+from ...obs import get_metrics, get_tracer, phase
 from ...types import CodeArray, PermArray, Sequenceish
 
 BlendKind = Literal["where", "masked", "arith", "bitwise", "minmax"]
@@ -256,12 +257,16 @@ def iterative_combing_antidiag_simd(
         return np.arange(m + n, dtype=np.int64)
     if use_16bit_when_possible and dtype is None and m + n <= _UNSIGNED_LIMIT_16:
         dtype = np.uint16
-    dt = _strand_dtype(m, n, dtype)
-    h_strands = np.arange(m, dtype=dt)
-    v_strands = np.arange(m, m + n, dtype=dt)
-    a_rev = np.ascontiguousarray(ca[::-1])
-    _comb_region_simd(a_rev, cb, h_strands, v_strands, _antidiag_ranges(m, n), blend)
-    return _extract_kernel(h_strands, v_strands)
+    metrics = get_metrics()
+    metrics.inc("combing.leaf_calls", 1)
+    metrics.inc("combing.leaf_cells", m * n)
+    with phase("combing"), get_tracer().span("combing.leaf", args={"m": m, "n": n}):
+        dt = _strand_dtype(m, n, dtype)
+        h_strands = np.arange(m, dtype=dt)
+        v_strands = np.arange(m, m + n, dtype=dt)
+        a_rev = np.ascontiguousarray(ca[::-1])
+        _comb_region_simd(a_rev, cb, h_strands, v_strands, _antidiag_ranges(m, n), blend)
+        return _extract_kernel(h_strands, v_strands)
 
 
 # ---------------------------------------------------------------------------
@@ -361,17 +366,20 @@ def iterative_combing_load_balanced(
         return np.arange(m + n, dtype=np.int64)
     if multiply is None:
         from ..steady_ant import steady_ant_multiply as multiply
-    a_rev = np.ascontiguousarray(ca[::-1])
-    cuts = [0, max(0, m - 1), n, m + n - 1]
-    braids = [
-        _region_braid_positions(a_rev, cb, d_lo, d_hi, m, n, blend)
-        for d_lo, d_hi in zip(cuts, cuts[1:])
-        if d_hi > d_lo
-    ]
-    result = braids[0]
-    for nxt in braids[1:]:
-        result = multiply(result, nxt)
-    return result
+    with phase("combing"), get_tracer().span(
+        "combing.load_balanced", args={"m": m, "n": n}
+    ):
+        a_rev = np.ascontiguousarray(ca[::-1])
+        cuts = [0, max(0, m - 1), n, m + n - 1]
+        braids = [
+            _region_braid_positions(a_rev, cb, d_lo, d_hi, m, n, blend)
+            for d_lo, d_hi in zip(cuts, cuts[1:])
+            if d_hi > d_lo
+        ]
+        result = braids[0]
+        for nxt in braids[1:]:
+            result = multiply(result, nxt)
+        return result
 
 
 def _flip_kernel(kernel_ba: PermArray, m_b: int, n_a: int) -> PermArray:

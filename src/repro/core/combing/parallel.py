@@ -21,6 +21,8 @@ from __future__ import annotations
 import numpy as np
 
 from ...alphabet import encode
+from ...obs import get_metrics, get_tracer
+from ...obs import phase as _obs_phase
 from ...parallel.transport import (
     machine_broadcast,
     machine_localize,
@@ -149,17 +151,24 @@ def parallel_iterative_combing(
     m, n = ca.size, cb.size
     if m == 0 or n == 0:
         return np.arange(m + n, dtype=np.int64)
-    select = _BLENDS[blend]
-    a_rev = np.ascontiguousarray(ca[::-1])
-    dt = _strands_dtype(m, n, use_16bit)
-    h_strands = np.arange(m, dtype=dt)
-    v_strands = np.arange(m, m + n, dtype=dt)
-    for length, h_lo, v_lo in _antidiag_ranges(m, n):
-        thunk = _make_chunk_thunk(
-            a_rev, cb, h_strands, v_strands, h_lo, v_lo, 0, length, select
-        )
-        machine.run_uniform_round([(thunk, length)])
-    return _extract_kernel(h_strands, v_strands)
+    # one top-level span + a single counter bump for the whole wavefront:
+    # the m+n-1 per-anti-diagonal rounds are far too hot to instrument
+    # individually (see repro.obs performance contract)
+    get_metrics().inc("combing.wavefront_rounds", m + n - 1)
+    with _obs_phase("combing"), get_tracer().span(
+        "combing.wavefront", args={"m": m, "n": n}
+    ):
+        select = _BLENDS[blend]
+        a_rev = np.ascontiguousarray(ca[::-1])
+        dt = _strands_dtype(m, n, use_16bit)
+        h_strands = np.arange(m, dtype=dt)
+        v_strands = np.arange(m, m + n, dtype=dt)
+        for length, h_lo, v_lo in _antidiag_ranges(m, n):
+            thunk = _make_chunk_thunk(
+                a_rev, cb, h_strands, v_strands, h_lo, v_lo, 0, length, select
+            )
+            machine.run_uniform_round([(thunk, length)])
+        return _extract_kernel(h_strands, v_strands)
 
 
 def parallel_load_balanced_combing(
@@ -196,6 +205,15 @@ def parallel_load_balanced_combing(
         return np.arange(m + n, dtype=np.int64)
     if multiply is None:
         from ..steady_ant import steady_ant_multiply as multiply
+    with _obs_phase("combing"), get_tracer().span(
+        "combing.load_balanced", args={"m": m, "n": n}
+    ):
+        return _parallel_load_balanced_impl(
+            ca, cb, machine, m, n, blend, multiply, use_16bit
+        )
+
+
+def _parallel_load_balanced_impl(ca, cb, machine, m, n, blend, multiply, use_16bit):
     select = _BLENDS[blend]
     a_rev = np.ascontiguousarray(ca[::-1])
     dt = _strands_dtype(m, n, use_16bit)
@@ -286,7 +304,35 @@ def parallel_hybrid_combing_grid(
     ``recover()`` — a :class:`~repro.parallel.resilient.ResilientMachine`
     recovering a failed round re-reads the on-disk ledger instead of
     recomputing.
+
+    Observability: wrapped in the ``combing`` phase and a
+    ``combing.grid`` span; when tracing (or remote metric collection) is
+    active on a :class:`~repro.parallel.processes.ProcessMachine`, the
+    worker-side leaf/compose spans and counters ship back with each
+    round and re-parent under this call's round spans.
     """
+    with _obs_phase("combing"), get_tracer().span(
+        "combing.grid", args={"n_tasks": n_tasks or 0}
+    ):
+        return _parallel_hybrid_grid_impl(
+            a, b, machine,
+            n_tasks=n_tasks, blend=blend, use_16bit=use_16bit,
+            multiply=multiply, strand_limit=strand_limit, checkpoint=checkpoint,
+        )
+
+
+def _parallel_hybrid_grid_impl(
+    a: Sequenceish,
+    b: Sequenceish,
+    machine,
+    *,
+    n_tasks: int | None = None,
+    blend: str = "where",
+    use_16bit: bool = True,
+    multiply=None,
+    strand_limit: int | None = None,
+    checkpoint=None,
+) -> PermArray:
     ca, cb = encode(a), encode(b)
     m, n = ca.size, cb.size
     if m == 0 or n == 0:
@@ -307,6 +353,8 @@ def parallel_hybrid_combing_grid(
         finished = checkpoint.begin(ca, cb, a_lens, b_lens)
         if finished is not None:
             return finished
+
+    get_metrics().inc("combing.grid_leaves", m_outer * n_outer)
 
     # The non-checkpoint path ships pure (fn, args, kwargs) specs:
     # process machines run them in workers (the input sequences broadcast

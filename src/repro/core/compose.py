@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import ShapeMismatchError
+from ..obs import get_metrics, get_tracer
 from ..types import PermArray
 
 
@@ -52,6 +53,12 @@ def compose_vertical(
 
     *multiply* is the braid-multiplication routine (defaults to steady
     ant); injected by the hybrid algorithm's benchmarks.
+
+    Observability: every composition — vertical, and horizontal via its
+    reduction to this function — counts in ``combing.grid_composes``,
+    records its order ``m_top + m_bottom + n`` in the
+    ``combing.compose_order`` histogram, and opens a ``combing.compose``
+    span when tracing is enabled.
     """
     p_top = np.asarray(p_top)
     p_bottom = np.asarray(p_bottom)
@@ -62,9 +69,14 @@ def compose_vertical(
         )
     if multiply is None:
         from .steady_ant import steady_ant_multiply as multiply
-    return multiply(
-        dsum_identity_first(m_bottom, p_top), dsum_identity_last(p_bottom, m_top)
-    )
+    order = m_top + m_bottom + n
+    metrics = get_metrics()
+    metrics.inc("combing.grid_composes", 1)
+    metrics.get("combing.compose_order").observe(order)
+    with get_tracer().span("combing.compose", args={"order": order}):
+        return multiply(
+            dsum_identity_first(m_bottom, p_top), dsum_identity_last(p_bottom, m_top)
+        )
 
 
 def compose_horizontal(

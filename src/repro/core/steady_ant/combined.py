@@ -8,15 +8,30 @@ from __future__ import annotations
 import numpy as np
 
 from ...errors import ShapeMismatchError
+from ...obs import get_metrics, get_tracer
 from ...types import PermArray
 from ._core import combine
 from .memory import Arena, arena_capacity_for
 from .precalc import DEFAULT_MAX_ORDER, PrecalcTable, get_precalc_table
 
 
-def _multiply(p: np.ndarray, q: np.ndarray, arena: Arena, table: PrecalcTable) -> np.ndarray:
+def _multiply(
+    p: np.ndarray,
+    q: np.ndarray,
+    arena: Arena,
+    table: PrecalcTable,
+    stats: list | None = None,
+    depth: int = 0,
+) -> np.ndarray:
+    # `stats` is a 2-slot accumulator [base_case_hits, max_depth] flushed
+    # once per top-level call — the recursion itself must stay free of
+    # global-registry traffic (it runs O(n) nodes per multiplication)
     n = p.size
     if n <= table.max_order:
+        if stats is not None:
+            stats[0] += 1
+            if depth > stats[1]:
+                stats[1] = depth
         out = arena.alloc(n)
         out[:] = table.multiply(p, q)
         return out
@@ -45,10 +60,10 @@ def _multiply(p: np.ndarray, q: np.ndarray, arena: Arena, table: PrecalcTable) -
     q_lo[:] = np.searchsorted(cols_lo, q[:h])
     q_hi[:] = np.searchsorted(cols_hi, q[h:])
 
-    r_lo_small = _multiply(p_lo, q_lo, arena, table)
+    r_lo_small = _multiply(p_lo, q_lo, arena, table, stats, depth + 1)
     lo_cols_full = arena.alloc(h)
     np.take(cols_lo, r_lo_small, out=lo_cols_full)
-    r_hi_small = _multiply(p_hi, q_hi, arena, table)
+    r_hi_small = _multiply(p_hi, q_hi, arena, table, stats, depth + 1)
     hi_cols_full = arena.alloc(n - h)
     np.take(cols_hi, r_hi_small, out=hi_cols_full)
 
@@ -67,7 +82,15 @@ def steady_ant_combined(
     arena: Arena | None = None,
     max_order: int = DEFAULT_MAX_ORDER,
 ) -> PermArray:
-    """Sticky product ``p ⊙ q`` with precalc + memory optimizations."""
+    """Sticky product ``p ⊙ q`` with precalc + memory optimizations.
+
+    Observability (flushed once per call, not per recursion node): a
+    ``steady_ant.multiply`` span, ``steady_ant.multiplies`` /
+    ``steady_ant.base_case_hits`` counters, the ``steady_ant.order``
+    histogram, and the ``steady_ant.max_depth`` high-water gauge. Base
+    case hits are the recursion leaves answered by the precalc table —
+    the paper's "sequential switch" (section 5.1).
+    """
     p = np.ascontiguousarray(p, dtype=np.int64)
     q = np.ascontiguousarray(q, dtype=np.int64)
     n = p.size
@@ -78,7 +101,14 @@ def steady_ant_combined(
     if arena is None:
         arena = Arena(arena_capacity_for(n))
     table = get_precalc_table(max_order)
+    stats = [0, 0]
     mark = arena.mark()
-    result = _multiply(p, q, arena, table).copy()
+    with get_tracer().span("steady_ant.multiply", args={"order": int(n)}):
+        result = _multiply(p, q, arena, table, stats).copy()
     arena.release(mark)
+    metrics = get_metrics()
+    metrics.inc("steady_ant.multiplies", 1)
+    metrics.inc("steady_ant.base_case_hits", stats[0])
+    metrics.get("steady_ant.order").observe(n)
+    metrics.get("steady_ant.max_depth").set_max(stats[1])
     return result

@@ -1,0 +1,155 @@
+"""repro.obs — zero-dependency observability: tracing, metrics, profiling.
+
+Three cooperating pieces, all stdlib-only (no repro imports, so any
+subsystem may import obs without cycles):
+
+- :mod:`repro.obs.trace` — a :class:`Tracer` recording nested spans
+  with thread-local context and cross-process re-parenting (spans made
+  in ProcessMachine workers ship home and attach under the submitting
+  round's span).
+- :mod:`repro.obs.metrics` — a process-global :class:`Metrics`
+  registry of counters/gauges/histograms, pre-registered from
+  :data:`METRIC_CATALOG` (see docs/metrics.md); worker deltas merge in.
+- :mod:`repro.obs.profile` — always-on per-phase wall/CPU accounting
+  plus :func:`peak_rss_bytes`.
+
+Typical embedding (this is what ``repro-lcs --trace/--metrics-out``
+does)::
+
+    with observed(trace="out.json", metrics_out="m.json"):
+        kernel = semilocal_lcs(a, b)
+
+Instrumentation in the library is free when disabled: spans cost one
+attribute check, and hot per-item loops never touch the registry (they
+are harvested at collection time via :func:`collect_machine`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+from .metrics import (
+    METRIC_CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    diff_snapshots,
+    get_metrics,
+)
+from .profile import peak_rss_bytes, phase, phase_breakdown, reset_phases
+from .trace import Tracer, get_tracer
+from .export import (
+    read_raw,
+    to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_raw,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "METRIC_CATALOG",
+    "Tracer",
+    "get_metrics",
+    "get_tracer",
+    "diff_snapshots",
+    "phase",
+    "phase_breakdown",
+    "reset_phases",
+    "peak_rss_bytes",
+    "to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_raw",
+    "read_raw",
+    "observed",
+    "collect_machine",
+]
+
+
+@contextlib.contextmanager
+def observed(
+    *,
+    trace: str | None = None,
+    trace_raw: str | None = None,
+    metrics_out: str | None = None,
+    profile: bool = False,
+) -> Iterator[None]:
+    """Run a block under observation and write the requested outputs.
+
+    - *trace*: path for a Chrome trace_event JSON (Perfetto-loadable).
+    - *trace_raw*: path for the lossless raw JSONL event stream.
+    - *metrics_out*: path for a metrics JSON ``{"version": 1,
+      "metrics": ..., "phases": ...}`` including the phase breakdown.
+    - *profile*: record phases/RSS even with no output file (the caller
+      reads :func:`phase_breakdown` afterwards).
+
+    With every argument unset/False this is a no-op. Enabling any
+    tracing output turns the tracer on for the duration (restored on
+    exit); files are written even when the block raises, so a failed
+    run still leaves its partial trace behind.
+    """
+    tracer = get_tracer()
+    metrics = get_metrics()
+    want_trace = bool(trace or trace_raw)
+    if not (want_trace or metrics_out or profile):
+        yield
+        return
+    prev_enabled = tracer.enabled
+    prev_remote = metrics.remote_collection
+    if want_trace:
+        tracer.enabled = True
+    if metrics_out:
+        # ask ProcessMachine rounds to ship worker metric deltas home
+        metrics.remote_collection = True
+    try:
+        yield
+    finally:
+        tracer.enabled = prev_enabled
+        metrics.remote_collection = prev_remote
+        metrics.get("process.peak_rss_bytes").set_max(peak_rss_bytes())
+        events = tracer.events()
+        if trace:
+            write_chrome_trace(trace, events, trace_id=tracer.trace_id)
+        if trace_raw:
+            write_raw(trace_raw, events)
+        if metrics_out:
+            metrics.write_json(metrics_out, extra={"phases": phase_breakdown()})
+
+
+def collect_machine(machine) -> None:
+    """Harvest an in-process machine's attribute counters into gauges.
+
+    Serial/Simulated machines run one round per anti-diagonal — far too
+    hot for live registry increments — so they keep plain ``rounds`` /
+    ``tasks`` / elapsed attributes and this function folds the final
+    values into ``machine.inproc_rounds`` / ``machine.inproc_tasks`` /
+    ``machine.elapsed_seconds`` gauges (max-merge) at run end. Walks
+    ``.inner`` wrappers (Resilient/Chaos) down to the backend. Safe to
+    call on any machine, including pool-backed ones (their live
+    counters already stream into ``machine.*``).
+    """
+    metrics = get_metrics()
+    seen = set()
+    node = machine
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        rounds = getattr(node, "rounds", None)
+        tasks = getattr(node, "tasks", None)
+        if isinstance(rounds, int) and rounds:
+            metrics.gauge("machine.inproc_rounds").set_max(rounds)
+        if isinstance(tasks, int) and tasks:
+            metrics.gauge("machine.inproc_tasks").set_max(tasks)
+        elapsed = getattr(node, "elapsed", None)
+        if elapsed is not None:
+            try:
+                value = float(elapsed() if callable(elapsed) else elapsed)
+                metrics.gauge("machine.elapsed_seconds").set_max(value)
+            except Exception:
+                pass
+        node = getattr(node, "inner", None)

@@ -1,0 +1,151 @@
+"""Trace serialization: raw JSONL and Chrome ``trace_event`` JSON.
+
+The raw format is one JSON object per line, exactly the dicts the
+:class:`~repro.obs.trace.Tracer` records — lossless, append-friendly,
+re-importable with :func:`read_raw`. The Chrome format is the
+``{"traceEvents": [...]}`` JSON accepted by Perfetto
+(https://ui.perfetto.dev) and ``chrome://tracing``: each span becomes a
+complete ("ph": "X") event with microsecond ``ts``/``dur``, and each
+process contributes a ``process_name`` metadata event so parent and
+worker lanes are labeled.
+
+:func:`validate_chrome_trace` is the schema check used by the test
+suite and the CI ``--trace`` smoke; it raises :class:`ValueError` with
+a specific message on the first violation and returns the set of span
+names on success.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Iterable
+
+__all__ = [
+    "to_chrome",
+    "write_chrome_trace",
+    "validate_chrome_trace",
+    "write_raw",
+    "read_raw",
+]
+
+_REQUIRED_X_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+
+def to_chrome(events: Iterable[dict], *, trace_id: str = "") -> dict:
+    """Convert raw tracer events to a Chrome trace_event document.
+
+    Span ids and parent links are preserved under ``args.span_id`` /
+    ``args.parent_id`` (the complete-event format has no native parent
+    field; nesting is reconstructed by Perfetto from ts/dur containment,
+    and exactly by tools from the args).
+    """
+    trace_events: list[dict] = []
+    pids: dict[int, None] = {}
+    min_pid = None
+    for ev in events:
+        pid = ev["pid"]
+        pids.setdefault(pid, None)
+        if min_pid is None or pid < min_pid:
+            min_pid = pid
+        args = dict(ev.get("args") or {})
+        args["span_id"] = ev["id"]
+        if ev.get("parent") is not None:
+            args["parent_id"] = ev["parent"]
+        trace_events.append(
+            {
+                "name": ev["name"],
+                "cat": ev.get("cat", "repro"),
+                "ph": "X",
+                "ts": ev["ts"],
+                "dur": ev["dur"],
+                "pid": pid,
+                "tid": ev["tid"],
+                "args": args,
+            }
+        )
+    for pid in pids:
+        label = "repro (parent)" if pid == min_pid else f"repro worker {pid}"
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+    doc: dict[str, Any] = {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+    if trace_id:
+        doc["otherData"] = {"trace_id": trace_id}
+    return doc
+
+
+def write_chrome_trace(path: str, events: Iterable[dict], *, trace_id: str = "") -> None:
+    """Write a Perfetto-loadable Chrome trace_event JSON file."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(to_chrome(events, trace_id=trace_id), fh)
+        fh.write("\n")
+
+
+def validate_chrome_trace(doc: Any) -> set[str]:
+    """Check *doc* against the Chrome trace_event schema subset we emit.
+
+    Raises :class:`ValueError` on the first violation; returns the set
+    of span (``"ph": "X"``) names on success. Used by tests and the CI
+    trace smoke to assert combing + steady-ant spans are present.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError("trace document must be a JSON object")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace document missing 'traceEvents' list")
+    names: set[str] = set()
+    span_ids: set[str] = set()
+    parents: list[tuple[str, str]] = []
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"traceEvents[{i}] is not an object")
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        if ph != "X":
+            raise ValueError(f"traceEvents[{i}] has unexpected phase {ph!r}")
+        for key in _REQUIRED_X_KEYS:
+            if key not in ev:
+                raise ValueError(f"traceEvents[{i}] missing required key {key!r}")
+        if not isinstance(ev["ts"], (int, float)) or ev["ts"] < 0:
+            raise ValueError(f"traceEvents[{i}] has invalid ts {ev['ts']!r}")
+        dur = ev.get("dur", 0)
+        if not isinstance(dur, (int, float)) or dur < 0:
+            raise ValueError(f"traceEvents[{i}] has invalid dur {dur!r}")
+        args = ev.get("args") or {}
+        sid = args.get("span_id")
+        if sid is not None:
+            span_ids.add(sid)
+        pid_ref = args.get("parent_id")
+        if pid_ref is not None:
+            parents.append((str(i), pid_ref))
+        names.add(ev["name"])
+    for where, pid_ref in parents:
+        if pid_ref not in span_ids:
+            raise ValueError(f"traceEvents[{where}] parent_id {pid_ref!r} not found")
+    return names
+
+
+def write_raw(path: str, events: Iterable[dict]) -> None:
+    """Write raw tracer events as JSON Lines (one event per line)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for ev in events:
+            fh.write(json.dumps(ev))
+            fh.write("\n")
+
+
+def read_raw(path: str) -> list[dict]:
+    """Read a raw JSONL trace back into a list of event dicts."""
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events

@@ -57,7 +57,18 @@ class Machine(Protocol):
 
 
 class SerialMachine:
-    """Sequential execution; ``elapsed`` is plain wall-clock time."""
+    """Sequential execution; ``elapsed`` is plain wall-clock time.
+
+    The cheapest Machine: every round runs the thunks in submission
+    order on the calling thread. ``rounds`` / ``tasks`` are plain int
+    attributes (one round per call, one task per thunk) — deliberately
+    *not* live metrics, because algorithms such as the anti-diagonal
+    wavefront submit one round per diagonal and the per-round cost must
+    stay a couple of attribute increments.
+    :func:`repro.obs.collect_machine` folds the final values into the
+    ``machine.inproc_*`` gauges at run end. Not thread-safe: one
+    SerialMachine belongs to one driving thread.
+    """
 
     def __init__(self) -> None:
         self.workers = 1
@@ -66,6 +77,11 @@ class SerialMachine:
         self.tasks = 0
 
     def run_round(self, thunks: Sequence[Thunk]) -> list:
+        """Run *thunks* sequentially; returns their results in order.
+
+        Accumulates the wall-clock cost of the whole round into
+        :attr:`elapsed` (seconds).
+        """
         start = time.perf_counter()
         results = [t() for t in thunks]
         self._elapsed += time.perf_counter() - start
@@ -74,9 +90,11 @@ class SerialMachine:
         return results
 
     def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
+        """Run a uniform round; serially the item counts are irrelevant."""
         return self.run_round([t for t, _ in tasks])
 
     def run_serial(self, thunk: Thunk):
+        """Run one sequential section, accounted at full cost."""
         start = time.perf_counter()
         result = thunk()
         self._elapsed += time.perf_counter() - start
@@ -84,9 +102,11 @@ class SerialMachine:
 
     @property
     def elapsed(self) -> float:
+        """Accumulated wall-clock time of all rounds/sections, in seconds."""
         return self._elapsed
 
     def reset(self) -> None:
+        """Zero ``elapsed``, ``rounds`` and ``tasks``."""
         self._elapsed = 0.0
         self.rounds = 0
         self.tasks = 0

@@ -26,6 +26,7 @@ import time
 from typing import Callable, Sequence
 
 from ..errors import BackendError, SharedMemoryUnavailableError, WorkerCrashError
+from ..obs.metrics import inc as _metric_inc
 from .api import SerialMachine, Thunk
 
 
@@ -178,16 +179,19 @@ class ChaosMachine:
                 )
             if delayed:
                 self.injected_delays += 1
+                _metric_inc("chaos.injected_delays", 1)
                 self.fault_log.append((execution, index, "delay"))
                 time.sleep(self.delay)
             if fault == "crash":
                 self.injected_crashes += 1
+                _metric_inc("chaos.injected_crashes", 1)
                 self.fault_log.append((execution, index, "crash"))
                 raise WorkerCrashError(
                     f"chaos: simulated worker crash in task {index}", task_index=index
                 )
             if fault == "fail":
                 self.injected_failures += 1
+                _metric_inc("chaos.injected_failures", 1)
                 self.fault_log.append((execution, index, "fail"))
                 raise ChaosError(
                     f"chaos: injected failure in task {index}", task_index=index
@@ -207,10 +211,12 @@ class ChaosMachine:
         self._executions += 1
         if fault == "crash":
             self.injected_crashes += 1
+            _metric_inc("chaos.injected_crashes", 1)
             self.fault_log.append((execution, index, "crash"))
             return (_raise_worker_crash, (index,), {})
         if fault == "fail":
             self.injected_failures += 1
+            _metric_inc("chaos.injected_failures", 1)
             self.fault_log.append((execution, index, "fail"))
             return (_raise_chaos, (index,), {})
         return spec
@@ -218,9 +224,11 @@ class ChaosMachine:
     # -- protocol ------------------------------------------------------
 
     def run_round(self, thunks: Sequence[Thunk], **kw) -> list:
+        """Run the round with each thunk wrapped in fault injection."""
         return self.inner.run_round([self._wrap(t, i) for i, t in enumerate(thunks)], **kw)
 
     def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
+        """Uniform-round variant with the same fault injection."""
         return self.inner.run_uniform_round(
             [(self._wrap(t, i), n) for i, (t, n) in enumerate(tasks)]
         )
@@ -254,10 +262,12 @@ class ChaosMachine:
         raise AttributeError(name)
 
     def run_serial(self, thunk: Thunk):
+        """Run a sequential section (also subject to fault injection)."""
         return self.inner.run_serial(self._wrap(thunk, 0))
 
     @property
     def elapsed(self) -> float:
+        """The wrapped machine's accounted seconds (delays included)."""
         return self.inner.elapsed
 
     def reset(self) -> None:
@@ -267,12 +277,19 @@ class ChaosMachine:
         self.inner.reset()
 
     def rebuild(self) -> None:
-        """Pass a pool rebuild through to the inner machine, if any."""
+        """Pass a pool rebuild through to the inner machine, if any.
+
+        All counters — this machine's ``injected_*`` totals and
+        ``fault_log``, and the inner machine's rounds/tasks/byte
+        counters — are preserved: rebuilding replaces the inner worker
+        pool, never the accounting.
+        """
         rebuild = getattr(self.inner, "rebuild", None)
         if rebuild is not None:
             rebuild()
 
     def close(self) -> None:
+        """Close the wrapped machine (if it has a ``close``)."""
         close = getattr(self.inner, "close", None)
         if close is not None:
             close()

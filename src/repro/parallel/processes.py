@@ -57,6 +57,7 @@ from ..errors import (
     TransportFallbackWarning,
     WorkerCrashError,
 )
+from ..obs import get_metrics, get_tracer
 from .api import Thunk
 from .transport import ARENA_MIN_BYTES, ArrayHandle, SharedArena, run_chunk
 
@@ -135,6 +136,7 @@ class ProcessMachine:
         """Degrade to pickle transport; existing arena views stay valid."""
         self._shm_lost = True
         self.transport_fallbacks += 1
+        get_metrics().inc("transport.fallbacks", 1)
         if not self._fallback_warned:
             self._fallback_warned = True
             warnings.warn(
@@ -246,30 +248,49 @@ class ProcessMachine:
             raise
         return results
 
+    def _account_round(self, n_tasks: int) -> None:
+        """Coarse per-round accounting: rounds are few, so a live global
+        metric increment per round is within the overhead budget."""
+        metrics = get_metrics()
+        metrics.inc("machine.rounds", 1)
+        metrics.inc("machine.tasks", n_tasks)
+
     def run_round(self, thunks: Sequence[Thunk], *, timeout: float | None = None) -> list:
+        """Run *thunks* (picklable zero-arg callables) as one round.
+
+        ``timeout`` (seconds) bounds the whole round. Thread-safety:
+        machines are driven from one thread; counters are plain ints.
+        """
         pool = self._require_pool()
         start = time.perf_counter()
         try:
-            futures = [pool.submit(t) for t in thunks]
-            results = self._collect(futures, timeout)
+            with get_tracer().span("machine.round", args={"tasks": len(thunks)}):
+                futures = [pool.submit(t) for t in thunks]
+                results = self._collect(futures, timeout)
         finally:
             self._elapsed += time.perf_counter() - start
             self.rounds += 1
             self.tasks += len(thunks)
+            self._account_round(len(thunks))
         return results
 
     def run_round_spec(
         self, specs: Sequence[tuple[Callable, tuple, dict]], *, timeout: float | None = None
     ) -> list:
+        """Run one round of ``(fn, args, kwargs)`` specs (one future per
+        task, no array transport). ``timeout`` bounds the round in
+        seconds."""
         pool = self._require_pool()
         start = time.perf_counter()
         try:
-            futures = [pool.submit(_call, s) for s in specs]
-            results = self._collect(futures, timeout)
+            with get_tracer().span("machine.round", args={"tasks": len(specs)}):
+                futures = [pool.submit(_call, s) for s in specs]
+                results = self._collect(futures, timeout)
         finally:
             self._elapsed += time.perf_counter() - start
             self.rounds += 1
             self.tasks += len(specs)
+            self._account_round(len(specs))
         return results
 
     # -- array transport rounds ----------------------------------------
@@ -303,64 +324,91 @@ class ProcessMachine:
         or serialized values (pickle transport / after fallback); the
         round is submitted as chunks of specs, one future per chunk, and
         large array results come back as adopted shared segments.
+
+        When tracing is enabled (or ``--metrics-out`` requested remote
+        collection), each chunk payload carries an observability request:
+        workers record spans parented under this round's span and ship
+        back per-chunk metric deltas, which are folded into the parent's
+        tracer/registry here (see ``repro.obs``). The obs slot is absent
+        by default, so the bytes-shipped accounting of an unobserved run
+        is unchanged.
         """
         pool = self._require_pool()
         specs = list(specs)
+        tracer = get_tracer()
+        metrics = get_metrics()
         start = time.perf_counter()
         shipped = returned = 0
         ephemerals: list[str] = []
         try:
-            if not specs:
-                return []
-            arena = self._arena_or_none()
-            packed = []
-            for fn, args, kwargs in specs:
-                try:
-                    packed.append(
-                        (
-                            fn,
-                            tuple(self._pack_arg(a, arena, ephemerals) for a in args),
-                            {
-                                k: self._pack_arg(v, arena, ephemerals)
-                                for k, v in kwargs.items()
-                            },
+            with tracer.span("machine.round_arrays", args={"tasks": len(specs)}):
+                if not specs:
+                    return []
+                obs_req = None
+                if tracer.enabled or metrics.remote_collection:
+                    obs_req = {
+                        "ctx": tracer.current_context() if tracer.enabled else None,
+                        "metrics": metrics.remote_collection,
+                    }
+                arena = self._arena_or_none()
+                packed = []
+                for fn, args, kwargs in specs:
+                    try:
+                        packed.append(
+                            (
+                                fn,
+                                tuple(self._pack_arg(a, arena, ephemerals) for a in args),
+                                {
+                                    k: self._pack_arg(v, arena, ephemerals)
+                                    for k, v in kwargs.items()
+                                },
+                            )
                         )
-                    )
-                except SharedMemoryUnavailableError as exc:
-                    self._lose_shm(exc)
-                    arena = None
-                    packed.append((fn, tuple(args), dict(kwargs)))
-            share_prefix = arena.prefix if arena is not None else None
-            sizes = _chunk_sizes(len(packed), self.workers * CHUNKS_PER_WORKER)
-            futures = []
-            offsets = []
-            pos = 0
-            for size in sizes:
-                payload = pickle.dumps((packed[pos : pos + size], share_prefix))
-                shipped += len(payload)
-                futures.append(pool.submit(run_chunk, payload))
-                offsets.append(pos)
-                pos += size
-            raw = self._collect(futures, timeout)
-            results: list[Any] = []
-            for offset, blob in zip(offsets, raw):
-                returned += len(blob)
-                status, *rest = pickle.loads(blob)
-                if status == "err":
-                    local_i, exc = rest
-                    for f in futures:
-                        f.cancel()
-                    if hasattr(exc, "add_note"):
-                        exc.add_note(
-                            f"raised by task {offset + local_i} of a "
-                            f"{len(specs)}-task round"
-                        )
-                    raise exc
-                for item in rest[0]:
-                    if isinstance(item, ArrayHandle):
-                        item = self._arena.adopt(item)
-                    results.append(item)
-            return results
+                    except SharedMemoryUnavailableError as exc:
+                        self._lose_shm(exc)
+                        arena = None
+                        packed.append((fn, tuple(args), dict(kwargs)))
+                share_prefix = arena.prefix if arena is not None else None
+                sizes = _chunk_sizes(len(packed), self.workers * CHUNKS_PER_WORKER)
+                futures = []
+                offsets = []
+                pos = 0
+                for size in sizes:
+                    chunk = packed[pos : pos + size]
+                    if obs_req is None:
+                        payload = pickle.dumps((chunk, share_prefix))
+                    else:
+                        payload = pickle.dumps((chunk, share_prefix, obs_req))
+                    shipped += len(payload)
+                    futures.append(pool.submit(run_chunk, payload))
+                    offsets.append(pos)
+                    pos += size
+                raw = self._collect(futures, timeout)
+                results: list[Any] = []
+                for offset, blob in zip(offsets, raw):
+                    returned += len(blob)
+                    status, *rest = pickle.loads(blob)
+                    if status == "err":
+                        local_i, exc = rest
+                        for f in futures:
+                            f.cancel()
+                        if hasattr(exc, "add_note"):
+                            exc.add_note(
+                                f"raised by task {offset + local_i} of a "
+                                f"{len(specs)}-task round"
+                            )
+                        raise exc
+                    if len(rest) > 1 and rest[1] is not None:
+                        events, delta = rest[1]
+                        if events:
+                            tracer.adopt(events)
+                        if delta:
+                            metrics.merge(delta)
+                    for item in rest[0]:
+                        if isinstance(item, ArrayHandle):
+                            item = self._arena.adopt(item)
+                        results.append(item)
+                return results
         finally:
             if self._arena is not None:
                 for name in ephemerals:
@@ -372,6 +420,9 @@ class ProcessMachine:
             self._elapsed += time.perf_counter() - start
             self.rounds += 1
             self.tasks += len(specs)
+            metrics.inc("transport.bytes_shipped", shipped)
+            metrics.inc("transport.bytes_returned", returned)
+            self._account_round(len(specs))
 
     def run_uniform_round(self, tasks):
         """Uniform rounds degrade to plain rounds on real machines (the
@@ -379,6 +430,7 @@ class ProcessMachine:
         return self.run_round([t for t, _ in tasks])
 
     def run_serial(self, thunk: Thunk):
+        """Run one sequential section in the parent process (full cost)."""
         start = time.perf_counter()
         result = thunk()
         self._elapsed += time.perf_counter() - start
@@ -386,9 +438,14 @@ class ProcessMachine:
 
     @property
     def elapsed(self) -> float:
+        """Accumulated wall-clock time of all rounds/sections, in seconds."""
         return self._elapsed
 
     def reset(self) -> None:
+        """Zero the per-run counters (elapsed seconds, rounds, tasks and
+        byte totals). ``transport_fallbacks`` is deliberately *not*
+        reset: like the degraded-transport state itself, it describes
+        the machine's lifetime, not one run."""
         self._elapsed = 0.0
         self.rounds = 0
         self.tasks = 0
@@ -402,13 +459,21 @@ class ProcessMachine:
 
         The arena and its segments survive: live handles stay resolvable
         and the fresh workers re-attach lazily. (Mappings held by the old
-        workers die with their processes.)
+        workers die with their processes.) Every counter — rounds, tasks,
+        byte totals, elapsed — is preserved: a rebuild replaces workers,
+        not the machine's history, so long-run totals stay honest.
+        Calling :meth:`rebuild` on a closed machine revives it with a
+        fresh pool (the arena is recreated lazily on first broadcast).
         """
+        get_metrics().inc("machine.rebuilds", 1)
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
 
     def close(self) -> None:
+        """Shut down the pool and release every shared-memory segment.
+
+        Idempotent; :meth:`rebuild` revives a closed machine."""
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
             self._pool = None

@@ -54,6 +54,7 @@ from ..errors import (
     TaskTimeoutError,
     WorkerCrashError,
 )
+from ..obs.metrics import inc as _metric_inc
 from .api import SerialMachine, Thunk
 
 
@@ -149,6 +150,8 @@ class ResilientMachine:
     # -- protocol ------------------------------------------------------
 
     def run_round(self, thunks: Sequence[Thunk]) -> list:
+        """Run a round with retries, per-task recovery, durable recovery
+        and (policy permitting) graceful degradation to serial."""
         thunks = list(thunks)
         done: dict[int, Any] = {}
         submit = self._captured(thunks, done) if self._can_capture else thunks
@@ -162,6 +165,7 @@ class ResilientMachine:
         )
 
     def run_uniform_round(self, tasks: Sequence[tuple[Thunk, int]]) -> list:
+        """Uniform-round variant of :meth:`run_round` (same fault policy)."""
         tasks = [(t, n) for t, n in tasks]
         thunks = [t for t, _ in tasks]
         done: dict[int, Any] = {}
@@ -179,6 +183,8 @@ class ResilientMachine:
         )
 
     def run_round_spec(self, specs: Sequence[tuple[Callable, tuple, dict]]) -> list:
+        """Run pure ``(fn, args, kwargs)`` specs under the fault policy;
+        backends without spec support run them as plain thunks."""
         specs = list(specs)
         if not hasattr(self.inner, "run_round_spec"):
             return self.run_round([partial(fn, *args, **kwargs) for fn, args, kwargs in specs])
@@ -195,6 +201,8 @@ class ResilientMachine:
         )
 
     def run_round_arrays(self, specs: Sequence[tuple[Callable, tuple, dict]]) -> list:
+        """Array-spec variant of :meth:`run_round_spec` (zero-copy
+        transport when the backend has one)."""
         specs = list(specs)
         if not hasattr(self.inner, "run_round_arrays"):
             return self.run_round([partial(fn, *args, **kwargs) for fn, args, kwargs in specs])
@@ -214,23 +222,29 @@ class ResilientMachine:
     # -- transport surface (delegated; harmless no-ops without one) ----
 
     def broadcast(self, *arrays):
+        """Delegate to the backend transport; identity without one."""
         fn = getattr(self.inner, "broadcast", None)
         return fn(*arrays) if fn is not None else tuple(arrays)
 
     def localize(self, arr):
+        """Delegate to the backend transport; identity without one."""
         fn = getattr(self.inner, "localize", None)
         return fn(arr) if fn is not None else arr
 
     def release_arrays(self, arrays) -> None:
+        """Release broadcast arrays via the backend transport (no-op
+        without one)."""
         fn = getattr(self.inner, "release_arrays", None)
         if fn is not None:
             fn(arrays)
 
     def transport_stats(self) -> dict:
+        """The backend's transport statistics; ``{}`` without one."""
         fn = getattr(self.inner, "transport_stats", None)
         return fn() if fn is not None else {}
 
     def run_serial(self, thunk: Thunk):
+        """Run one sequential section under the fault policy."""
         return self._execute(
             whole=lambda: self.inner.run_serial(thunk),
             single=lambda i: self.inner.run_serial(thunk),
@@ -261,6 +275,7 @@ class ResilientMachine:
         self.durable_recoveries = 0
 
     def close(self) -> None:
+        """Close the wrapped backend (if it has a ``close``)."""
         close = getattr(self.inner, "close", None)
         if close is not None:
             close()
@@ -275,6 +290,8 @@ class ResilientMachine:
 
     @property
     def permanently_degraded(self) -> bool:
+        """True once the machine has latched into serial-only execution
+        (an unrecoverable backend failure with degradation allowed)."""
         return self._permanent_serial
 
     def health(self) -> dict:
@@ -291,6 +308,13 @@ class ResilientMachine:
         }
 
     # -- execution core ------------------------------------------------
+
+    def _bump(self, name: str) -> None:
+        """Increment fault counter *name* and mirror it into the global
+        ``resilience.*`` metric of the same name, so long-run totals
+        survive machine resets and pool rebuilds (see docs/metrics.md)."""
+        setattr(self, name, getattr(self, name) + 1)
+        _metric_inc(f"resilience.{name}", 1)
 
     @staticmethod
     def _durable_recovery(thunks: Sequence[Thunk]):
@@ -368,9 +392,9 @@ class ResilientMachine:
         try:
             return whole()
         except Exception as exc:  # noqa: BLE001 — any backend/task fault
-            self.task_failures += 1
+            self._bump("task_failures")
             if isinstance(exc, TaskTimeoutError):
-                self.timeouts += 1
+                self._bump("timeouts")
             self._maybe_rebuild(exc)
             if self.policy.max_retries > 0 and n > 0:
                 try:
@@ -382,7 +406,7 @@ class ResilientMachine:
                             if value is not None:
                                 # the task persisted its result before the
                                 # fault: trust the verified artifact
-                                self.durable_recoveries += 1
+                                self._bump("durable_recoveries")
                                 done[i] = value
                                 continue
                         # record retry successes in the ledger too, so a
@@ -392,7 +416,7 @@ class ResilientMachine:
                     if not self.policy.degrade_to_serial:
                         raise
                     return self._degrade(serial)
-                self.recovered_rounds += 1
+                self._bump("recovered_rounds")
                 return done[0] if unwrap else [done[i] for i in range(n)]
             if not self.policy.degrade_to_serial:
                 raise RoundFailedError(
@@ -406,7 +430,7 @@ class ResilientMachine:
         last: Exception | None = None
         for attempt in range(1, policy.max_retries + 1):
             self._sleep(policy.backoff_delay(attempt, self._rng))
-            self.retries += 1
+            self._bump("retries")
             start = time.perf_counter()
             try:
                 result = single(i)
@@ -425,8 +449,8 @@ class ResilientMachine:
             ):
                 # in-process machines cannot be preempted: detect the
                 # overrun after the fact and treat the attempt as failed
-                self.timeouts += 1
-                self.task_failures += 1
+                self._bump("timeouts")
+                self._bump("task_failures")
                 last = TaskTimeoutError(
                     f"task {i} ran {duration:.3f}s > timeout {policy.task_timeout}s",
                     task_index=i,
@@ -440,13 +464,26 @@ class ResilientMachine:
     def _maybe_rebuild(self, exc: BaseException) -> None:
         """Replace a broken worker pool before the next attempt."""
         if isinstance(exc, (WorkerCrashError, BrokenExecutor)):
-            rebuild = getattr(self.inner, "rebuild", None)
-            if rebuild is not None:
-                rebuild()
-                self.pool_rebuilds += 1
+            self.rebuild()
+
+    def rebuild(self) -> None:
+        """Replace the wrapped machine's worker pool with a fresh one.
+
+        Delegates to ``inner.rebuild()`` (a no-op when the backend has no
+        pool) and counts the event in ``pool_rebuilds``. Every counter —
+        this machine's fault counters and the inner machine's
+        rounds/tasks/byte totals — is preserved across the rebuild: a
+        rebuild replaces workers, never history, so long-run totals stay
+        honest (they are additionally mirrored into the global
+        ``resilience.*`` / ``machine.*`` metrics).
+        """
+        rebuild = getattr(self.inner, "rebuild", None)
+        if rebuild is not None:
+            rebuild()
+            self._bump("pool_rebuilds")
 
     def _degrade(self, serial):
-        self.degraded_rounds += 1
+        self._bump("degraded_rounds")
         if not self._warned:
             self._warned = True
             warnings.warn(

@@ -52,7 +52,16 @@ class RoundStats:
 
 @dataclass
 class SimulatedMachine:
-    """See module docstring. ``schedule`` is ``"static"`` or ``"dynamic"``."""
+    """Deterministic cost-model machine (see module docstring).
+
+    ``schedule`` is ``"static"`` (greedy in submission order) or
+    ``"dynamic"`` (longest-processing-time first). Overheads are in
+    seconds. ``rounds`` / ``tasks`` / ``round_log`` are plain
+    attributes updated once per round — this machine runs one round per
+    anti-diagonal, so the per-round path stays free of metric-registry
+    traffic; :func:`repro.obs.collect_machine` harvests the totals at
+    run end. Not thread-safe (single driving thread, like the
+    algorithms that use it)."""
 
     workers: int = 1
     sync_overhead: float = DEFAULT_SYNC_OVERHEAD
@@ -72,6 +81,12 @@ class SimulatedMachine:
     # -- protocol ------------------------------------------------------
 
     def run_round(self, thunks: Sequence[Thunk]) -> list:
+        """Run *thunks* sequentially; account the simulated p-worker makespan.
+
+        Returns the results in submission order. The simulated clock
+        (:attr:`elapsed`, seconds) advances by the schedule's makespan
+        plus one sync overhead plus per-task spawn overheads.
+        """
         durations = []
         results = []
         for t in thunks:
@@ -114,6 +129,7 @@ class SimulatedMachine:
         return results
 
     def run_serial(self, thunk: Thunk):
+        """Run one sequential section, accounted at full measured cost."""
         start = time.perf_counter()
         result = thunk()
         self._elapsed += time.perf_counter() - start
@@ -121,9 +137,11 @@ class SimulatedMachine:
 
     @property
     def elapsed(self) -> float:
+        """Simulated p-worker running time in seconds."""
         return self._elapsed
 
     def reset(self) -> None:
+        """Zero the simulated clock, the counters and the round log."""
         self._elapsed = 0.0
         self.rounds = 0
         self.tasks = 0
@@ -151,6 +169,8 @@ class SimulatedMachine:
     # -- reporting ---------------------------------------------------------
 
     def summary(self) -> dict:
+        """Aggregate accounting: workers, rounds, tasks, elapsed (s),
+        total measured work (s) and parallel efficiency in ``[0, 1]``."""
         total_work = sum(r.total_work for r in self.round_log)
         return {
             "workers": self.workers,

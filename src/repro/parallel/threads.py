@@ -21,11 +21,18 @@ from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Sequence
 
 from ..errors import BackendError, TaskTimeoutError
+from ..obs import get_metrics, get_tracer
 from .api import Thunk
 
 
 class ThreadMachine:
-    """Executes rounds on a shared ``ThreadPoolExecutor``."""
+    """Executes rounds on a shared ``ThreadPoolExecutor``.
+
+    Counters: ``rounds`` / ``tasks`` count submitted work (plain ints,
+    written only from the driving thread); ``elapsed`` is wall seconds
+    accumulated across rounds. Both survive :meth:`rebuild` and mirror
+    into the ``machine.*`` metrics (see ``repro.obs``).
+    """
 
     #: advertises preemptive per-task timeouts to the resilience layer
     supports_task_timeout = True
@@ -40,36 +47,46 @@ class ThreadMachine:
         self.tasks = 0
 
     def run_round(self, thunks: Sequence[Thunk], *, timeout: float | None = None) -> list:
+        """Run *thunks* concurrently as one round; ``timeout`` (seconds)
+        is a single deadline shared by the whole round."""
         if self._pool is None:
             raise BackendError("machine is closed")
         start = time.perf_counter()
+        span = get_tracer().span("machine.round", args={"tasks": len(thunks)})
         try:
-            futures = [self._pool.submit(t) for t in thunks]
-            results = []
-            # a single round deadline shared across the in-order waits —
-            # per-task timeouts would let a k-task round wait k x timeout
-            deadline = None if timeout is None else time.monotonic() + timeout
-            try:
-                for i, f in enumerate(futures):
-                    remaining = (
-                        None if deadline is None else max(0.0, deadline - time.monotonic())
-                    )
-                    try:
-                        results.append(f.result(timeout=remaining))
-                    except FutureTimeoutError as exc:
-                        raise TaskTimeoutError(
-                            f"task {i} result not ready within the round deadline "
-                            f"({timeout}s)",
-                            task_index=i,
-                        ) from exc
-            except BaseException:
-                for f in futures:
-                    f.cancel()
-                raise
+            with span:
+                return self._run_round_inner(thunks, timeout)
         finally:
             self._elapsed += time.perf_counter() - start
             self.rounds += 1
             self.tasks += len(thunks)
+            metrics = get_metrics()
+            metrics.inc("machine.rounds", 1)
+            metrics.inc("machine.tasks", len(thunks))
+
+    def _run_round_inner(self, thunks: Sequence[Thunk], timeout: float | None) -> list:
+        futures = [self._pool.submit(t) for t in thunks]
+        results = []
+        # a single round deadline shared across the in-order waits —
+        # per-task timeouts would let a k-task round wait k x timeout
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            for i, f in enumerate(futures):
+                remaining = (
+                    None if deadline is None else max(0.0, deadline - time.monotonic())
+                )
+                try:
+                    results.append(f.result(timeout=remaining))
+                except FutureTimeoutError as exc:
+                    raise TaskTimeoutError(
+                        f"task {i} result not ready within the round deadline "
+                        f"({timeout}s)",
+                        task_index=i,
+                    ) from exc
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
         return results
 
     def run_uniform_round(self, tasks):
@@ -78,6 +95,7 @@ class ThreadMachine:
         return self.run_round([t for t, _ in tasks])
 
     def run_serial(self, thunk: Thunk):
+        """Run one sequential section on the calling thread (full cost)."""
         start = time.perf_counter()
         result = thunk()
         self._elapsed += time.perf_counter() - start
@@ -85,20 +103,28 @@ class ThreadMachine:
 
     @property
     def elapsed(self) -> float:
+        """Accumulated wall-clock time of all rounds/sections, in seconds."""
         return self._elapsed
 
     def reset(self) -> None:
+        """Zero elapsed seconds and the rounds/tasks counters."""
         self._elapsed = 0.0
         self.rounds = 0
         self.tasks = 0
 
     def rebuild(self) -> None:
-        """Replace the executor with a fresh one."""
+        """Replace the executor with a fresh one.
+
+        Counters (rounds, tasks, elapsed) are preserved — a rebuild
+        replaces workers, not the machine's history.
+        """
+        get_metrics().inc("machine.rebuilds", 1)
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
         self._pool = ThreadPoolExecutor(max_workers=self.workers)
 
     def close(self) -> None:
+        """Shut the executor down (idempotent); :meth:`rebuild` revives."""
         if self._pool is not None:
             self._pool.shutdown(cancel_futures=True)
             self._pool = None

@@ -88,6 +88,7 @@ class ArrayHandle:
 
     @property
     def nbytes(self) -> int:
+        """Payload size in bytes (product of shape times itemsize)."""
         count = 1
         for s in self.shape:
             count *= s
@@ -220,6 +221,7 @@ class SharedArena:
     # -- lifecycle -----------------------------------------------------
 
     def retain(self, name: str) -> None:
+        """Add one reference to segment *name* (pairs with release)."""
         if name in self._refs:
             self._refs[name] += 1
 
@@ -259,6 +261,7 @@ class SharedArena:
         return True
 
     def stats(self) -> dict:
+        """Live segment count, resident bytes and total put() calls."""
         return {
             "segments": len(self._segments),
             "bytes": sum(size for _, size in self._ranges.values()),
@@ -388,25 +391,13 @@ def _resolve_spec(spec: tuple[Callable, tuple, dict]):
     return fn(*[resolve(a) for a in args], **{k: resolve(v) for k, v in kwargs.items()})
 
 
-def run_chunk(payload: bytes) -> bytes:
-    """Execute one pickled chunk of specs; return one pickled payload.
-
-    The payload is ``(specs, share_prefix)``. Results that are large
-    arrays are published as shared segments when *share_prefix* is set
-    (shm transport); the first failing spec short-circuits the chunk and
-    is reported with its chunk-local index so the parent can attribute
-    the round-global task index.
-    """
-    specs, share_prefix = pickle.loads(payload)
+def _run_specs(specs, share_prefix):
     out = []
     for i, spec in enumerate(specs):
         try:
             result = _resolve_spec(spec)
         except Exception as exc:  # noqa: BLE001 - reported to the parent
-            try:
-                return pickle.dumps(("err", i, exc))
-            except Exception:  # unpicklable exception: ship the repr
-                return pickle.dumps(("err", i, RuntimeError(repr(exc))))
+            return ("err", i, exc)
         if (
             share_prefix is not None
             and isinstance(result, np.ndarray)
@@ -414,7 +405,51 @@ def run_chunk(payload: bytes) -> bytes:
         ):
             result = share_result(result, share_prefix)
         out.append(result)
-    return pickle.dumps(("ok", out))
+    return ("ok", out)
+
+
+def run_chunk(payload: bytes) -> bytes:
+    """Execute one pickled chunk of specs; return one pickled payload.
+
+    The payload is ``(specs, share_prefix)`` or, when the parent
+    requested observability, ``(specs, share_prefix, obs_req)`` with
+    ``obs_req = {"ctx": (trace_id, span_id) | None, "metrics": bool}``.
+    Results that are large arrays are published as shared segments when
+    *share_prefix* is set (shm transport); the first failing spec
+    short-circuits the chunk and is reported with its chunk-local index
+    so the parent can attribute the round-global task index.
+
+    Success payloads are ``("ok", out)`` — or ``("ok", out, obs_blob)``
+    with ``obs_blob = (span_events, metrics_delta)`` when *obs_req* was
+    present, so worker spans re-parent under the submitting round and
+    worker metric deltas merge into the parent registry (see
+    ``repro.obs``). Failure payloads are always ``("err", i, exc)``.
+    """
+    loaded = pickle.loads(payload)
+    specs, share_prefix = loaded[0], loaded[1]
+    obs_req = loaded[2] if len(loaded) > 2 else None
+    if obs_req is None:
+        status = _run_specs(specs, share_prefix)
+    else:
+        from ..obs import diff_snapshots, get_metrics, get_tracer
+
+        tracer = get_tracer()
+        metrics = get_metrics()
+        before = metrics.snapshot() if obs_req.get("metrics") else None
+        with tracer.collect_remote(obs_req.get("ctx")) as events:
+            with tracer.span("worker.chunk", args={"tasks": len(specs)}):
+                status = _run_specs(specs, share_prefix)
+        delta = (
+            diff_snapshots(metrics.snapshot(), before) if before is not None else None
+        )
+        if status[0] == "ok":
+            status = ("ok", status[1], (events, delta))
+    try:
+        return pickle.dumps(status)
+    except Exception:  # unpicklable exception: ship the repr
+        if status[0] == "err":
+            return pickle.dumps(("err", status[1], RuntimeError(repr(status[2]))))
+        raise
 
 
 # ---------------------------------------------------------------------------

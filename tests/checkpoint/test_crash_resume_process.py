@@ -84,6 +84,11 @@ def test_sigkill_mid_run_then_resume(tmp_path):
         ca, cb, 16, checkpoint=GridCheckpointer(store, compose_min_order=0)
     )
     assert np.array_equal(got, iterative_combing_rowmajor(ca, cb))
-    assert store.stats()["hits"] >= 3  # the killed run's work was reused
+    stats = store.stats()
+    assert stats["hits"] >= 1  # the killed run's work was reused
+    # either the kill landed mid-flight (several artifacts reused on the
+    # way back up) or the child got far enough to commit the *root*
+    # kernel, in which case the resume is a single hit with no recompute
+    assert stats["hits"] >= 3 or stats["misses"] == 0
     # and whatever the kill left behind is either valid or ignorable
     assert all(v == "ok" for v in store.verify().values())

@@ -1,0 +1,190 @@
+"""Unit tests for the metrics registry: types, merge semantics, catalog."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    METRIC_CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    diff_snapshots,
+    get_metrics,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = Counter("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_increment_rejected(self):
+        c = Counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+        assert c.value == 0
+
+    def test_merge_adds(self):
+        c = Counter("x")
+        c.inc(3)
+        c.merge({"value": 7})
+        assert c.value == 10
+
+
+class TestGauge:
+    def test_set_and_set_max(self):
+        g = Gauge("x")
+        g.set(5.0)
+        g.set_max(3.0)
+        assert g.value == 5.0
+        g.set_max(9.0)
+        assert g.value == 9.0
+
+    def test_merge_takes_max(self):
+        g = Gauge("x")
+        g.set(4.0)
+        g.merge({"value": 2.0})
+        assert g.value == 4.0
+        g.merge({"value": 11.0})
+        assert g.value == 11.0
+
+
+class TestHistogram:
+    def test_observe_tracks_count_sum_bounds(self):
+        h = Histogram("x")
+        for v in (1, 10, 100):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == 111
+        assert snap["min"] == 1
+        assert snap["max"] == 100
+
+    def test_power_of_two_buckets(self):
+        h = Histogram("x")
+        h.observe(1)  # bucket 0
+        h.observe(2)  # bucket 1
+        h.observe(3)  # bucket 1
+        h.observe(1024)  # bucket 10
+        buckets = h.snapshot()["buckets"]
+        assert buckets == {"0": 1, "1": 2, "10": 1}
+
+    def test_merge_sums(self):
+        a, b = Histogram("x"), Histogram("x")
+        a.observe(4)
+        b.observe(16)
+        b.observe(2)
+        a.merge(b.snapshot())
+        snap = a.snapshot()
+        assert snap["count"] == 3
+        assert snap["min"] == 2 and snap["max"] == 16
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        m = Metrics()
+        assert m.counter("a") is m.counter("a")
+
+    def test_kind_mismatch_raises(self):
+        m = Metrics()
+        m.counter("a")
+        with pytest.raises(ValueError):
+            m.gauge("a")
+
+    def test_merge_creates_unknown_metrics(self):
+        src, dst = Metrics(), Metrics()
+        src.counter("new.counter", unit="calls").inc(2)
+        src.gauge("new.gauge").set(7.0)
+        dst.merge(src.snapshot())
+        assert dst.get("new.counter").value == 2
+        assert dst.get("new.gauge").value == 7.0
+
+    def test_reset_keeps_registrations(self):
+        m = Metrics()
+        m.counter("a").inc(5)
+        m.reset()
+        assert m.get("a").value == 0
+
+    def test_write_json(self, tmp_path):
+        m = Metrics()
+        m.counter("a").inc(1)
+        path = tmp_path / "m.json"
+        m.write_json(path, extra={"phases": {"combing": {"calls": 1}}})
+        doc = json.loads(path.read_text())
+        assert doc["version"] == 1
+        assert doc["metrics"]["a"]["value"] == 1
+        assert doc["phases"]["combing"]["calls"] == 1
+
+
+class TestDiffSnapshots:
+    def test_counter_delta(self):
+        m = Metrics()
+        c = m.counter("a")
+        c.inc(3)
+        before = m.snapshot()
+        c.inc(4)
+        delta = diff_snapshots(m.snapshot(), before)
+        assert delta["a"]["value"] == 4
+
+    def test_unchanged_counters_dropped(self):
+        m = Metrics()
+        m.counter("a").inc(3)
+        before = m.snapshot()
+        delta = diff_snapshots(m.snapshot(), before)
+        assert "a" not in delta
+
+    def test_merge_of_delta_does_not_double_count(self):
+        worker = Metrics()
+        worker.counter("a").inc(10)  # pre-existing worker state
+        before = worker.snapshot()
+        worker.counter("a").inc(2)  # the chunk's actual work
+        delta = diff_snapshots(worker.snapshot(), before)
+        parent = Metrics()
+        parent.counter("a").inc(100)
+        parent.merge(delta)
+        assert parent.get("a").value == 102
+
+    def test_histogram_delta(self):
+        m = Metrics()
+        h = m.histogram("h")
+        h.observe(4)
+        before = m.snapshot()
+        h.observe(8)
+        delta = diff_snapshots(m.snapshot(), before)
+        assert delta["h"]["count"] == 1
+
+
+class TestCatalog:
+    def test_global_registry_pre_registers_catalog(self):
+        metrics = get_metrics()
+        for name, kind, _unit, _subsystem, _description in METRIC_CATALOG:
+            metric = metrics.get(name)
+            assert metric is not None, name
+            assert metric.kind == kind, name
+
+    def test_catalog_entries_have_metadata(self):
+        for name, kind, unit, subsystem, description in METRIC_CATALOG:
+            assert name and unit and subsystem and description, name
+            assert kind in ("counter", "gauge", "histogram")
+
+    def test_docs_metrics_md_in_sync(self):
+        """docs/metrics.md is generated from the catalog; detect drift."""
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        sys.path.insert(0, str(repo / "docs"))
+        try:
+            from gen_api import render_metrics_md
+        finally:
+            sys.path.pop(0)
+        committed = (repo / "docs" / "metrics.md").read_text(encoding="utf-8")
+        assert committed == render_metrics_md(), (
+            "docs/metrics.md is stale — rerun: PYTHONPATH=src python docs/gen_api.py"
+        )

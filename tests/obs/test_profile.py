@@ -1,0 +1,65 @@
+"""Phase accounting: reentrancy, breakdown shape, peak RSS."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import peak_rss_bytes, phase, phase_breakdown, reset_phases
+
+
+@pytest.fixture(autouse=True)
+def _fresh_phases():
+    reset_phases()
+    yield
+    reset_phases()
+
+
+class TestPhase:
+    def test_accounts_wall_and_cpu(self):
+        with phase("combing"):
+            sum(range(10000))
+        rec = phase_breakdown()["combing"]
+        assert rec["calls"] == 1
+        assert rec["wall_s"] >= 0
+        assert rec["cpu_s"] >= 0
+
+    def test_reentrant_same_name_counts_once(self):
+        with phase("combing"):
+            with phase("combing"):
+                pass
+        assert phase_breakdown()["combing"]["calls"] == 1
+
+    def test_nested_distinct_phases_both_account(self):
+        with phase("combing"):
+            with phase("steady_ant"):
+                pass
+        breakdown = phase_breakdown()
+        assert breakdown["combing"]["calls"] == 1
+        assert breakdown["steady_ant"]["calls"] == 1
+
+    def test_sequential_calls_accumulate(self):
+        for _ in range(3):
+            with phase("combing"):
+                pass
+        assert phase_breakdown()["combing"]["calls"] == 3
+
+    def test_accounts_even_when_body_raises(self):
+        with pytest.raises(RuntimeError):
+            with phase("combing"):
+                raise RuntimeError("boom")
+        assert phase_breakdown()["combing"]["calls"] == 1
+
+    def test_reset_clears(self):
+        with phase("combing"):
+            pass
+        reset_phases()
+        assert phase_breakdown() == {}
+
+
+def test_peak_rss_positive_and_monotone():
+    a = peak_rss_bytes()
+    assert a > 0
+    blob = bytearray(1 << 20)
+    b = peak_rss_bytes()
+    assert b >= a
+    del blob

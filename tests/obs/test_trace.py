@@ -1,0 +1,146 @@
+"""Tracer behavior: nesting, disabled fast path, export round-trips."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.export import (
+    read_raw,
+    to_chrome,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_raw,
+)
+from repro.obs.trace import Tracer, _NOP
+
+
+@pytest.fixture
+def tracer():
+    t = Tracer()
+    t.enabled = True
+    return t
+
+
+class TestSpans:
+    def test_disabled_returns_shared_nop(self):
+        t = Tracer()
+        assert t.span("x") is _NOP
+        assert t.span("y") is t.span("z")
+        assert t.events() == []
+
+    def test_nesting_sets_parent_links(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        events = {e["name"]: e for e in tracer.events()}
+        assert events["outer"]["parent"] is None
+        assert events["inner"]["parent"] == events["outer"]["id"]
+
+    def test_siblings_share_parent(self, tracer):
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        events = {e["name"]: e for e in tracer.events()}
+        assert events["a"]["parent"] == events["b"]["parent"] == events["outer"]["id"]
+
+    def test_span_records_duration_and_args(self, tracer):
+        with tracer.span("x", args={"n": 7}):
+            pass
+        (event,) = tracer.events()
+        assert event["dur"] >= 0
+        assert event["args"] == {"n": 7}
+
+    def test_threads_nest_independently(self, tracer):
+        seen = {}
+
+        def worker():
+            with tracer.span("thread-span"):
+                seen["ctx"] = tracer.current_context()
+
+        with tracer.span("main-span"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        events = {e["name"]: e for e in tracer.events()}
+        # the worker thread's span must NOT parent under main's stack
+        assert events["thread-span"]["parent"] is None
+
+    def test_reset_clears_events(self, tracer):
+        with tracer.span("x"):
+            pass
+        old_id = tracer.trace_id
+        tracer.reset()
+        assert tracer.events() == []
+        assert tracer.trace_id != old_id
+
+
+class TestRemoteCollection:
+    def test_collect_remote_seeds_parent(self, tracer):
+        with tracer.span("round"):
+            ctx = tracer.current_context()
+        worker = Tracer()
+        with worker.collect_remote(ctx) as collected:
+            with worker.span("chunk"):
+                pass
+        (event,) = collected
+        assert event["parent"] == ctx[1]
+        # worker tracer state restored
+        assert worker.enabled is False
+        assert worker.events() == []
+
+    def test_adopted_events_appear_in_parent(self, tracer):
+        with tracer.span("round"):
+            ctx = tracer.current_context()
+        worker = Tracer()
+        with worker.collect_remote(ctx) as collected:
+            with worker.span("chunk"):
+                pass
+        tracer.adopt(collected)
+        names = [e["name"] for e in tracer.events()]
+        assert names.count("chunk") == 1
+
+
+class TestExport:
+    def test_chrome_shape_and_validation(self, tracer, tmp_path):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, tracer.events(), trace_id=tracer.trace_id)
+        doc = json.loads(path.read_text())
+        names = validate_chrome_trace(doc)
+        assert {"outer", "inner"} <= names
+        xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert all(e["ts"] >= 0 and e["dur"] >= 0 for e in xs)
+        # process-name metadata present for the parent lane
+        metas = [e for e in doc["traceEvents"] if e.get("ph") == "M"]
+        assert any(e["name"] == "process_name" for e in metas)
+
+    def test_validate_rejects_dangling_parent(self):
+        doc = to_chrome(
+            [
+                {
+                    "name": "x", "cat": "c", "ts": 1.0, "dur": 1.0,
+                    "pid": 1, "tid": 1, "id": "1:1", "parent": "1:999",
+                    "args": {},
+                }
+            ]
+        )
+        with pytest.raises(ValueError):
+            validate_chrome_trace(doc)
+
+    def test_validate_rejects_non_list(self):
+        with pytest.raises(ValueError):
+            validate_chrome_trace({"traceEvents": "nope"})
+
+    def test_raw_round_trip(self, tracer, tmp_path):
+        with tracer.span("x", args={"k": 1}):
+            pass
+        path = tmp_path / "raw.jsonl"
+        write_raw(path, tracer.events())
+        assert read_raw(path) == tracer.events()
