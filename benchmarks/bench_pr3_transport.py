@@ -30,25 +30,16 @@ from __future__ import annotations
 
 import argparse
 import json
-import subprocess
+import os
 import sys
 import time
 
 import numpy as np
 
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from common import add_quick_flag, apply_quick, commit_hash  # noqa: E402
 
-def _commit_hash() -> str | None:
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "HEAD"],
-            capture_output=True,
-            text=True,
-            check=True,
-            timeout=10,
-        )
-        return out.stdout.strip()
-    except Exception:  # pragma: no cover - not a git checkout
-        return None
+_commit_hash = commit_hash
 
 
 def _inputs(n: int, seed: int = 2021) -> tuple[np.ndarray, np.ndarray]:
@@ -89,7 +80,8 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="exit 1 unless shm ships strictly fewer bytes than pickle at every size",
     )
-    args = parser.parse_args(argv)
+    add_quick_flag(parser, sizes=[1024, 4096], workers=4)
+    args = apply_quick(parser.parse_args(argv))
 
     from repro.parallel import shared_memory_available
 

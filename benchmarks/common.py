@@ -1,0 +1,60 @@
+"""Shared plumbing for the standalone ``bench_pr*.py`` scripts.
+
+Named ``common`` (not ``bench_*``) on purpose: pytest collects
+``bench_*.py`` as test modules, and this helper must import cleanly from
+both pytest and standalone runs. Scripts reach it with::
+
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from common import add_quick_flag, apply_quick, commit_hash
+
+The ``--quick`` knob gives every perf script one shared switch for CI
+smoke jobs: each script declares what "quick" means for it (smaller
+sizes, fewer repetitions) and the flag applies those overrides in one
+place instead of every workflow hand-picking per-script arguments.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+
+
+def add_quick_flag(parser: argparse.ArgumentParser, **quick_overrides) -> None:
+    """Add ``--quick`` to *parser*.
+
+    ``quick_overrides`` maps argument destinations to the values a quick
+    (CI smoke) run should use, e.g. ``sizes=[512], repeats=1``. Call
+    :func:`apply_quick` after ``parse_args`` to apply them; ``--quick``
+    wins over explicitly passed values by design (workflows append it
+    last to downscale whatever the full invocation asked for).
+    """
+    names = ", ".join(f"{k}={v!r}" for k, v in sorted(quick_overrides.items()))
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: shrink the run ({names})",
+    )
+    parser.set_defaults(_quick_overrides=quick_overrides)
+
+
+def apply_quick(args: argparse.Namespace) -> argparse.Namespace:
+    """Apply the script's declared quick overrides when ``--quick`` is set."""
+    if getattr(args, "quick", False):
+        for dest, value in getattr(args, "_quick_overrides", {}).items():
+            setattr(args, dest, value)
+    return args
+
+
+def commit_hash() -> str | None:
+    """The current git commit, or ``None`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=10,
+        )
+        return out.stdout.strip()
+    except Exception:  # pragma: no cover - not a git checkout
+        return None

@@ -27,8 +27,9 @@ paper-vs-measured comparison.
 
 from __future__ import annotations
 
-from . import alphabet, apps, baselines, checkpoint, datasets, parallel
+from . import alphabet, apps, baselines, batch, checkpoint, datasets, parallel
 from .alphabet import decode, encode
+from .batch import batch_bit_lcs, batch_lcs, batch_semilocal_lcs
 from .apps.approximate_matching import find_matches, sliding_window_scores
 from .baselines.lcs_dp import lcs_backtrack, lcs_score_dp
 from .baselines.prefix_lcs import prefix_lcs_antidiag_simd, prefix_lcs_rowmajor
@@ -95,6 +96,9 @@ __all__ = [
     "__version__",
     "semilocal_lcs",
     "lcs",
+    "batch_semilocal_lcs",
+    "batch_lcs",
+    "batch_bit_lcs",
     "bit_lcs",
     "bit_lcs_bigint",
     "SemiLocalKernel",
@@ -126,6 +130,7 @@ __all__ = [
     "alphabet",
     "apps",
     "baselines",
+    "batch",
     "datasets",
     "parallel",
 ]

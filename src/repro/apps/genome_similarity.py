@@ -21,8 +21,15 @@ from ..baselines.prefix_lcs import prefix_lcs_rowmajor
 from ..types import CodeArray, Sequenceish
 
 
-def lcs_distance(x: Sequenceish, y: Sequenceish, *, lcs: Callable = prefix_lcs_rowmajor) -> float:
-    """Normalized LCS distance in ``[0, 1]``."""
+def lcs_distance(x: Sequenceish, y: Sequenceish, *, lcs: Callable | None = None) -> float:
+    """Normalized LCS distance in ``[0, 1]``.
+
+    *lcs* defaults to the library's fast vectorized scorer
+    (:func:`repro.lcs`); pass any other scorer (e.g. ``bit_lcs`` for
+    binary inputs) to swap the engine.
+    """
+    if lcs is None:
+        lcs = prefix_lcs_rowmajor
     cx, cy = encode(x), encode(y)
     if cx.size == 0 and cy.size == 0:
         return 0.0
@@ -30,15 +37,37 @@ def lcs_distance(x: Sequenceish, y: Sequenceish, *, lcs: Callable = prefix_lcs_r
 
 
 def similarity_matrix(
-    genomes: Sequence[CodeArray], *, lcs: Callable = prefix_lcs_rowmajor
+    genomes: Sequence[CodeArray],
+    *,
+    lcs: Callable | None = None,
+    machine=None,
+    max_lanes: int = 64,
 ) -> np.ndarray:
-    """Symmetric pairwise distance matrix (zero diagonal)."""
+    """Symmetric pairwise distance matrix (zero diagonal).
+
+    By default all ``k (k - 1) / 2`` pairs are scored through the batch
+    engine (:func:`repro.batch.batch_lcs`) — same-bucket genomes comb in
+    lockstep and, with a *machine*, megabatches pipeline across workers.
+    Passing an explicit *lcs* scorer keeps the per-pair loop.
+    """
     k = len(genomes)
     out = np.zeros((k, k), dtype=np.float64)
     encoded = [encode(g) for g in genomes]
-    for i in range(k):
-        for j in range(i + 1, k):
-            out[i, j] = out[j, i] = lcs_distance(encoded[i], encoded[j], lcs=lcs)
+    if lcs is not None:
+        for i in range(k):
+            for j in range(i + 1, k):
+                out[i, j] = out[j, i] = lcs_distance(encoded[i], encoded[j], lcs=lcs)
+        return out
+    from ..batch import batch_lcs  # lazy: apps loads before batch in repro
+
+    idx = [(i, j) for i in range(k) for j in range(i + 1, k)]
+    scores = batch_lcs(
+        [(encoded[i], encoded[j]) for i, j in idx], machine=machine, max_lanes=max_lanes
+    )
+    for (i, j), s in zip(idx, scores):
+        denom = max(encoded[i].size, encoded[j].size)
+        d = 1.0 - s / denom if denom else 0.0
+        out[i, j] = out[j, i] = d
     return out
 
 

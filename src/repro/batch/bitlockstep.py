@@ -1,0 +1,124 @@
+"""Batched bit-parallel LCS: the ``new2`` comber across a lane axis.
+
+:func:`repro.core.bitparallel.bitlcs.bit_lcs` already vectorizes over
+the blocks of one block-anti-diagonal; for a batch of B binary pairs
+padded to a *common word count* the same sweep vectorizes over lanes as
+well. Word arrays gain a leading batch axis — ``h`` is ``(B, ma)``,
+``v`` is ``(B, nb)`` — and each of the ``2w - 1`` inner steps updates
+the active blocks of *all* lanes in one word operation.
+
+Ragged lanes share a word count through the ``min_words`` padding of
+:func:`repro.core.bitparallel.words.pack_a_words` /
+:func:`~repro.core.bitparallel.words.pack_b_words`: the extra words are
+all-invalid, so their combing steps are no-ops (``mfull = 0`` leaves
+``v`` and ``h`` untouched) and the masked ``h`` bits stay at their
+initial 1s. The per-lane score ``ma * w - popcount(h[k])`` is therefore
+invariant to the amount of padding — no per-lane correction needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.bitparallel.bitlcs import _triangle_masks
+from ..core.bitparallel.words import (
+    MAX_WIDTH,
+    WORD_DTYPE,
+    pack_a_words,
+    pack_b_words,
+    popcount_words,
+    word_mask,
+)
+
+_U = WORD_DTYPE
+
+
+def pack_bit_lanes(pairs, w: int = MAX_WIDTH):
+    """Pack binary code *pairs* (each ``(ca, cb)`` nonempty) into shared-
+    word-count lane stacks for :func:`comb_bit_lockstep`.
+
+    Returns ``(a_words, a_valid, b_words, b_valid)``, each ``(B, words)``
+    uint64. Orientation is the caller's business (the comber is
+    symmetric in cost, not in layout — ``a`` rides the reversed axis).
+    """
+    ma = max(1, max(-(-ca.size // w) for ca, _ in pairs))
+    nb = max(1, max(-(-cb.size // w) for _, cb in pairs))
+    B = len(pairs)
+    a_words = np.empty((B, ma), dtype=WORD_DTYPE)
+    a_valid = np.empty((B, ma), dtype=WORD_DTYPE)
+    b_words = np.empty((B, nb), dtype=WORD_DTYPE)
+    b_valid = np.empty((B, nb), dtype=WORD_DTYPE)
+    for k, (ca, cb) in enumerate(pairs):
+        aw, av, _ = pack_a_words(ca, w, min_words=ma)
+        bw, bv, _ = pack_b_words(cb, w, min_words=nb)
+        a_words[k] = aw
+        a_valid[k] = av
+        b_words[k] = bw
+        b_valid[k] = bv
+    return a_words, a_valid, b_words, b_valid
+
+
+def comb_bit_lockstep(
+    a_words,
+    a_valid,
+    b_words,
+    b_valid,
+    w: int = MAX_WIDTH,
+) -> np.ndarray:
+    """Run the ``new2`` bit-parallel comber on all lanes at once.
+
+    Module-level and picklable — batch rounds ship this to worker
+    processes. Returns the ``(B,)`` int64 LCS scores.
+    """
+    B, ma = a_words.shape
+    nb = b_words.shape[1]
+    wmask = word_mask(w)
+    a_neg = (~np.asarray(a_words, dtype=WORD_DTYPE)) & wmask
+    a_valid = np.asarray(a_valid, dtype=WORD_DTYPE)
+    b_words = np.asarray(b_words, dtype=WORD_DTYPE)
+    b_valid = np.asarray(b_valid, dtype=WORD_DTYPE)
+    h = np.full((B, ma), wmask, dtype=WORD_DTYPE)
+    v = np.zeros((B, nb), dtype=WORD_DTYPE)
+    steps = _triangle_masks(w)
+
+    for d in range(ma + nb - 1):
+        i_lo = max(0, d - nb + 1)
+        i_hi = min(ma - 1, d)
+        blk_i = np.arange(i_lo, i_hi + 1)
+        ls = ma - 1 - blk_i  # h/a word columns (reversed layout)
+        js = d - blk_i  # v/b word columns
+        # gather once per block diagonal (the new1/new2 memory pattern);
+        # fancy indexing copies, so updates run on locals
+        hv = h[:, ls]
+        vv = v[:, js]
+        av = a_neg[:, ls]
+        bv = b_words[:, js]
+        mh = a_valid[:, ls]
+        mv = b_valid[:, js]
+        for sh, upper, mask in steps:
+            shift = _U(sh)
+            if upper:
+                hs = hv >> shift
+                as_ = av >> shift
+                mfull = mask & (mh >> shift) & mv
+            else:
+                hs = (hv << shift) & wmask
+                as_ = (av << shift) & wmask
+                mfull = mask & ((mh << shift) & wmask) & mv
+            s = as_ ^ bv  # a already negated: s = ~(a ^ b)
+            vv_old = vv
+            vv = (hs | (~mfull & wmask)) & (vv | (s & mfull))
+            patch = vv ^ vv_old
+            if upper:
+                hv = hv ^ ((patch << shift) & wmask)
+            else:
+                hv = hv ^ (patch >> shift)
+        h[:, ls] = hv
+        v[:, js] = vv
+
+    m_pad = ma * w
+    if hasattr(np, "bitwise_count"):
+        pops = np.bitwise_count(h).sum(axis=1, dtype=np.int64)
+    else:  # pragma: no cover - old NumPy
+        pops = np.asarray([popcount_words(h[k], w) for k in range(B)], dtype=np.int64)
+    return m_pad - pops

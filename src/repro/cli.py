@@ -14,6 +14,9 @@ Subcommands
 - ``parallel A B`` — semi-local LCS on a parallel backend with a fault
   policy (``--task-timeout``, ``--retries``, ``--no-degrade``) and
   optional chaos injection,
+- ``batch PAIRS`` — many-pair LCS through the batched throughput engine
+  (``PAIRS`` is a TAB-separated two-column file, ``-`` for stdin);
+  prints one ``index TAB score`` line per pair plus a pairs/sec summary,
 - ``bench NAME`` — run a figure benchmark (``bench list`` to enumerate),
 - ``genomes`` — generate a simulated virus-strain FASTA file,
 - ``checkpoint list|verify|gc DIR`` — inspect and maintain a durable
@@ -24,7 +27,7 @@ Subcommands
 in-flight state) and ``--resume`` (reuse verified artifacts from a
 previous — possibly crashed — run).
 
-``semilocal``, ``parallel``, ``bit`` and ``bench`` accept the
+``semilocal``, ``parallel``, ``batch``, ``bit`` and ``bench`` accept the
 observability flags ``--trace FILE`` (Chrome trace_event JSON),
 ``--trace-raw FILE`` (lossless JSONL span stream), ``--metrics-out
 FILE`` (counters/gauges/histograms + phase breakdown; see
@@ -266,6 +269,98 @@ def _cmd_parallel(args) -> int:
         if health is not None:
             for key, value in health().items():
                 print(f"  {key}: {value}")
+    finally:
+        close = getattr(machine, "close", None)
+        if close is not None:
+            close()
+    return 0
+
+
+def _read_pairs(path: str) -> list[tuple[str, str]]:
+    """Read TAB-separated ``A<TAB>B`` pairs (``-`` = stdin, blanks skipped)."""
+    from .errors import ReproError
+
+    fh = sys.stdin if path == "-" else open(path, encoding="utf-8")
+    try:
+        pairs = []
+        for lineno, line in enumerate(fh, start=1):
+            line = line.rstrip("\n")
+            if not line.strip():
+                continue
+            cols = line.split("\t")
+            if len(cols) != 2:
+                raise ReproError(
+                    f"{path}:{lineno}: expected two TAB-separated columns, got {len(cols)}"
+                )
+            pairs.append((cols[0], cols[1]))
+        return pairs
+    finally:
+        if fh is not sys.stdin:
+            fh.close()
+
+
+def _cmd_batch(args) -> int:
+    import time
+
+    from .batch import batch_lcs, batch_semilocal_lcs
+    from .checkpoint import cleanup_on_signals
+    from .errors import ReproError
+    from .parallel import make_machine, release_all_arenas
+
+    if args.transport == "shm" and args.backend != "processes":
+        raise ReproError(
+            "--transport shm requires --backend processes "
+            f"(got --backend {args.backend})"
+        )
+    pairs = _read_pairs(args.pairs)
+    machine = None
+    if args.backend != "none":
+        backend_kwargs = {"transport": args.transport} if args.backend == "processes" else {}
+        machine = make_machine(args.backend, workers=args.workers, **backend_kwargs)
+    try:
+        with cleanup_on_signals(release_all_arenas):
+            start = time.perf_counter()
+            if args.kernels:
+                kernels = batch_semilocal_lcs(
+                    pairs,
+                    algorithm=args.algorithm,
+                    machine=machine,
+                    max_lanes=args.max_lanes,
+                )
+                elapsed = time.perf_counter() - start
+                scores = [k.lcs_whole() for k in kernels]
+            else:
+                scores = batch_lcs(
+                    pairs,
+                    algorithm=args.algorithm,
+                    machine=machine,
+                    max_lanes=args.max_lanes,
+                )
+                elapsed = time.perf_counter() - start
+            # snapshot before the block exits: cleanup releases the arena
+            transport_stats = getattr(machine, "transport_stats", None)
+            stats = transport_stats() if transport_stats is not None else None
+        for i, score in enumerate(scores):
+            print(f"{i}\t{int(score)}")
+        if machine is not None:
+            from .obs import collect_machine
+
+            collect_machine(machine)
+        rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"batch: {len(pairs)} pair(s) in {elapsed:.4f}s "
+            f"({rate:.1f} pairs/s, backend {args.backend})",
+            file=sys.stderr,
+        )
+        if stats is not None and args.backend == "processes":
+            arena = stats.get("arena", {})
+            print(
+                f"transport: {stats.get('transport_active', args.transport)}, "
+                f"shipped {stats.get('bytes_shipped', 0)} B, "
+                f"returned {stats.get('bytes_returned', 0)} B, "
+                f"slabs free/used {arena.get('slabs_free', 0)}/{arena.get('slabs_used', 0)}",
+                file=sys.stderr,
+            )
     finally:
         close = getattr(machine, "close", None)
         if close is not None:
@@ -564,6 +659,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_parallel)
+
+    p = sub.add_parser(
+        "batch",
+        help="many-pair LCS through the batched throughput engine",
+        description=(
+            "Score many string pairs at once: pairs sharing a padded shape "
+            "comb in lockstep, megabatches ship through reusable shared-memory "
+            "slabs, and rounds pipeline across workers. PAIRS is a text file "
+            "with one TAB-separated pair per line ('-' reads stdin)."
+        ),
+    )
+    p.add_argument("pairs", help="TAB-separated pairs file, or '-' for stdin")
+    p.add_argument(
+        "--algorithm",
+        default="semi_antidiag_simd",
+        help="kernel algorithm (default: semi_antidiag_simd, the lockstep-batched one)",
+    )
+    p.add_argument(
+        "--kernels",
+        action="store_true",
+        help="build full semi-local kernels instead of the score-only fast path",
+    )
+    p.add_argument(
+        "--backend",
+        default="none",
+        choices=["none", "serial", "threads", "processes", "simulated"],
+        help="execution machine (default: none = comb in-process)",
+    )
+    p.add_argument("--workers", type=int, default=2, help="worker count for real backends")
+    p.add_argument(
+        "--transport",
+        default="pickle",
+        choices=["pickle", "shm"],
+        help="array transport for the processes backend (default: pickle)",
+    )
+    p.add_argument(
+        "--max-lanes",
+        type=int,
+        default=64,
+        metavar="B",
+        help="megabatch width cap (default: 64)",
+    )
+    _add_obs_args(p)
+    p.set_defaults(fn=_cmd_batch)
 
     p = sub.add_parser("bench", help="run a figure benchmark ('bench list')")
     p.add_argument("name")

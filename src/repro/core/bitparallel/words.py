@@ -37,19 +37,24 @@ def word_mask(w: int) -> np.uint64:
     return WORD_DTYPE((1 << w) - 1) if w < 64 else WORD_DTYPE(0xFFFFFFFFFFFFFFFF)
 
 
-def pack_a_words(ca: CodeArray, w: int = MAX_WIDTH) -> tuple[np.ndarray, np.ndarray, int]:
+def pack_a_words(
+    ca: CodeArray, w: int = MAX_WIDTH, *, min_words: int | None = None
+) -> tuple[np.ndarray, np.ndarray, int]:
     """Pack string ``a`` in reversed layout.
 
     Returns ``(a_words, valid_words, m_pad)``: bit ``l % w`` of
     ``a_words[l // w]`` is ``a[m_pad - 1 - l]``; ``valid_words`` has the
-    same shape with 1-bits exactly at in-range rows.
+    same shape with 1-bits exactly at in-range rows. ``min_words`` pads
+    the packing to at least that many words (extra words are all-invalid)
+    so ragged batch lanes can share one common word count — the validity
+    masks make the extra padding a no-op.
     """
     if not 1 <= w <= MAX_WIDTH:
         raise ValueError(f"word width must be in [1, {MAX_WIDTH}]")
     ca = np.asarray(ca)
     _check_binary(ca, "a")
     m = ca.size
-    n_words = max(1, -(-m // w))
+    n_words = max(1, -(-m // w), min_words or 1)
     m_pad = n_words * w
     pad = m_pad - m
     bits = np.zeros(m_pad, dtype=np.uint8)
@@ -59,18 +64,21 @@ def pack_a_words(ca: CodeArray, w: int = MAX_WIDTH) -> tuple[np.ndarray, np.ndar
     return _bits_to_words(bits, w), _bits_to_words(valid, w), m_pad
 
 
-def pack_b_words(cb: CodeArray, w: int = MAX_WIDTH) -> tuple[np.ndarray, np.ndarray, int]:
+def pack_b_words(
+    cb: CodeArray, w: int = MAX_WIDTH, *, min_words: int | None = None
+) -> tuple[np.ndarray, np.ndarray, int]:
     """Pack string ``b`` in normal layout.
 
     Returns ``(b_words, valid_words, n_pad)``: bit ``j % w`` of
-    ``b_words[j // w]`` is ``b[j]``.
+    ``b_words[j // w]`` is ``b[j]``. ``min_words`` pads to at least that
+    many words (all-invalid), as in :func:`pack_a_words`.
     """
     if not 1 <= w <= MAX_WIDTH:
         raise ValueError(f"word width must be in [1, {MAX_WIDTH}]")
     cb = np.asarray(cb)
     _check_binary(cb, "b")
     n = cb.size
-    n_words = max(1, -(-n // w))
+    n_words = max(1, -(-n // w), min_words or 1)
     n_pad = n_words * w
     bits = np.zeros(n_pad, dtype=np.uint8)
     bits[:n] = cb

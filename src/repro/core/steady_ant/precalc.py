@@ -12,11 +12,13 @@ The table is built lazily on first use and shared process-wide.
 
 from __future__ import annotations
 
+import threading
 from itertools import permutations
 
 import numpy as np
 
 from ...errors import ShapeMismatchError
+from ...obs.metrics import inc as _metric_inc
 from ...types import PermArray
 from ..dist_matrix import sticky_multiply_dense
 from ._core import combine, split_p, split_q
@@ -82,14 +84,31 @@ def _small_multiply(p: np.ndarray, q: np.ndarray) -> np.ndarray:
 
 
 _shared_tables: dict[int, PrecalcTable] = {}
+_shared_tables_lock = threading.Lock()
 
 
 def get_precalc_table(max_order: int = DEFAULT_MAX_ORDER) -> PrecalcTable:
-    """Process-wide shared table (built on first request)."""
+    """Process-wide shared table, built at most once per ``max_order``.
+
+    The warm-once guard matters for batch workers: a process pool worker
+    serving many steady-ant sub-tasks per round must pay the ``(5!)^2``
+    table construction exactly once, not once per round. Double-checked
+    locking keeps the hot path lock-free; ``steady_ant.precalc_builds`` /
+    ``steady_ant.precalc_hits`` count constructions vs. cache answers
+    (collected from workers like any other metric delta).
+    """
     table = _shared_tables.get(max_order)
-    if table is None:
-        table = PrecalcTable(max_order)
-        _shared_tables[max_order] = table
+    if table is not None:
+        _metric_inc("steady_ant.precalc_hits", 1)
+        return table
+    with _shared_tables_lock:
+        table = _shared_tables.get(max_order)
+        if table is None:
+            table = PrecalcTable(max_order)
+            _shared_tables[max_order] = table
+            _metric_inc("steady_ant.precalc_builds", 1)
+        else:  # pragma: no cover - lost the build race
+            _metric_inc("steady_ant.precalc_hits", 1)
     return table
 
 

@@ -408,6 +408,24 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str, str], ...] = (
      "Parallel rounds (leaf round + combine levels) run by steady_ant_parallel (Listing 5)."),
     ("steady_ant.parallel_leaves", "counter", "tasks", "core.steady_ant",
      "Leaf sub-multiplications submitted by steady_ant_parallel."),
+    ("steady_ant.precalc_builds", "counter", "tables", "core.steady_ant",
+     "PrecalcTable constructions — at most one per (process, max_order) under the warm-once guard."),
+    ("steady_ant.precalc_hits", "counter", "calls", "core.steady_ant",
+     "get_precalc_table calls answered by the already-built shared table."),
+    ("batch.pairs", "counter", "pairs", "batch",
+     "String pairs accepted by the batched throughput engine."),
+    ("batch.megabatches", "counter", "batches", "batch",
+     "Shape-bucketed megabatches dispatched by the BatchScheduler."),
+    ("batch.lanes", "histogram", "lanes", "batch",
+     "Lane count (batch width B) of each dispatched megabatch."),
+    ("batch.padded_cells", "counter", "cells", "batch",
+     "Grid cells combed by lockstep kernels including shape-bucket padding (M*N per lane)."),
+    ("batch.real_cells", "counter", "cells", "batch",
+     "Real (unpadded) grid cells covered by lockstep combing (sum of m*n over lanes)."),
+    ("batch.fallback_pairs", "counter", "pairs", "batch",
+     "Pairs routed through the per-pair fallback path (algorithms without a lockstep kernel)."),
+    ("batch.pipeline_depth", "gauge", "rounds", "batch",
+     "Deepest submit/drain round pipeline the BatchScheduler reached (high-water mark)."),
     ("bitparallel.calls", "counter", "calls", "core.bitparallel",
      "Bit-parallel LCS computations (sequential bit_lcs)."),
     ("bitparallel.rounds", "counter", "rounds", "core.bitparallel",
@@ -432,6 +450,10 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str, str], ...] = (
      "Serialized bytes returned from worker processes."),
     ("transport.fallbacks", "counter", "events", "parallel.transport",
      "Shared-memory-to-pickle transport degradations."),
+    ("transport.slab_allocs", "counter", "segments", "parallel.transport",
+     "Fresh slab segments allocated by SharedArena.slab (pool misses)."),
+    ("transport.slab_reuses", "counter", "segments", "parallel.transport",
+     "Slab requests satisfied from the arena's free pool (no new segment)."),
     ("checkpoint.hits", "counter", "artifacts", "checkpoint",
      "Verified kernel-store reads that found a valid artifact."),
     ("checkpoint.misses", "counter", "artifacts", "checkpoint",

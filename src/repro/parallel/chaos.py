@@ -245,12 +245,19 @@ class ChaosMachine:
         "transport_stats",
         "bytes_shipped",
         "bytes_returned",
+        "drain_round",
+        "slab",
+        "recycle_slabs",
+        "reset_slabs",
     )
 
     def __getattr__(self, name):
         if name == "inner":  # guard against recursion during __init__
             raise AttributeError(name)
-        if name in ("run_round_spec", "run_round_arrays"):
+        # submit_round_arrays injects at submission: the substituted
+        # raiser ships with the round and fires at drain time, exactly
+        # where a real in-flight fault would surface
+        if name in ("run_round_spec", "run_round_arrays", "submit_round_arrays"):
             inner_fn = getattr(self.inner, name)  # AttributeError: capability absent
 
             def fault_injected(specs, **kw):

@@ -45,6 +45,7 @@ import pickle
 import time
 import warnings
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from dataclasses import dataclass
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from typing import Any, Callable, Sequence
 
@@ -63,6 +64,22 @@ from .transport import ARENA_MIN_BYTES, ArrayHandle, SharedArena, run_chunk
 
 #: specs per worker submitted as one future (executor-overhead amortization)
 CHUNKS_PER_WORKER = 2
+
+
+@dataclass
+class _PendingRound:
+    """An array round in flight between :meth:`ProcessMachine.submit_round_arrays`
+    and :meth:`ProcessMachine.drain_round`: the chunk futures, the
+    spec-offset of each chunk, the ephemeral segments to release after
+    the drain, and the accounting captured at submission."""
+
+    futures: list
+    offsets: list[int]
+    ephemerals: list[str]
+    n_specs: int
+    timeout: float | None
+    shipped: int
+    start: float
 
 
 def _call(payload: tuple[Callable, tuple, dict]) -> Any:
@@ -187,6 +204,33 @@ class ProcessMachine:
         for arr in arrays:
             if isinstance(arr, np.ndarray):
                 self._arena.release_array(arr)
+
+    def slab(self, shape: tuple, dtype=np.float64) -> np.ndarray:
+        """A reusable scratch array from the arena's slab pool (see
+        :meth:`~repro.parallel.transport.SharedArena.slab`). Falls back to
+        a plain local array under pickle transport or after shared-memory
+        loss. Contents are uninitialized either way."""
+        arena = self._arena_or_none()
+        if arena is not None:
+            try:
+                return arena.slab(shape, dtype)
+            except SharedMemoryUnavailableError as exc:
+                self._lose_shm(exc)
+        return np.empty(shape, dtype=dtype)
+
+    def recycle_slabs(self, arrays) -> None:
+        """Return slab-backed *arrays* to the pool for reuse (no-op for
+        plain arrays). Only recycle once every round reading them drained."""
+        if self._arena is None:
+            return
+        for arr in arrays:
+            if isinstance(arr, np.ndarray):
+                self._arena.recycle(arr)
+
+    def reset_slabs(self) -> None:
+        """Bulk-return every checked-out slab to the pool."""
+        if self._arena is not None:
+            self._arena.reset()
 
     def transport_stats(self) -> dict:
         """Byte counters exposing the data-movement cost of the run."""
@@ -315,65 +359,63 @@ class ProcessMachine:
         ephemerals.append(handle.name)
         return handle
 
-    def run_round_arrays(
+    def submit_round_arrays(
         self, specs: Sequence[tuple[Callable, tuple, dict]], *, timeout: float | None = None
-    ) -> list:
-        """One round of ``(fn, args, kwargs)`` specs with array transport.
+    ) -> _PendingRound:
+        """Pack and submit one array round without waiting for results.
 
-        Array arguments travel as shared-memory handles (shm transport)
-        or serialized values (pickle transport / after fallback); the
-        round is submitted as chunks of specs, one future per chunk, and
-        large array results come back as adopted shared segments.
+        The first half of :meth:`run_round_arrays`: array arguments are
+        packed into shared-memory handles (or left by value), the specs
+        are chunked and pickled, and one future per chunk is submitted.
+        The returned :class:`_PendingRound` must be handed to exactly one
+        :meth:`drain_round` call, which performs the wait, the unpacking
+        and all accounting. Multiple rounds may be in flight at once —
+        the double-buffered pipelining the batch engine builds on (batch
+        k+1 packs while batch k computes).
 
-        When tracing is enabled (or ``--metrics-out`` requested remote
-        collection), each chunk payload carries an observability request:
-        workers record spans parented under this round's span and ship
-        back per-chunk metric deltas, which are folded into the parent's
-        tracer/registry here (see ``repro.obs``). The obs slot is absent
-        by default, so the bytes-shipped accounting of an unobserved run
-        is unchanged.
+        Opens no tracer span of its own: pipelined rounds interleave, so
+        worker spans re-parent under whatever span is current at
+        submission (``machine.round_arrays`` for the synchronous path,
+        the caller's span for pipelined submissions).
         """
         pool = self._require_pool()
         specs = list(specs)
         tracer = get_tracer()
         metrics = get_metrics()
         start = time.perf_counter()
-        shipped = returned = 0
+        shipped = 0
         ephemerals: list[str] = []
         try:
-            with tracer.span("machine.round_arrays", args={"tasks": len(specs)}):
-                if not specs:
-                    return []
-                obs_req = None
-                if tracer.enabled or metrics.remote_collection:
-                    obs_req = {
-                        "ctx": tracer.current_context() if tracer.enabled else None,
-                        "metrics": metrics.remote_collection,
-                    }
-                arena = self._arena_or_none()
-                packed = []
-                for fn, args, kwargs in specs:
-                    try:
-                        packed.append(
-                            (
-                                fn,
-                                tuple(self._pack_arg(a, arena, ephemerals) for a in args),
-                                {
-                                    k: self._pack_arg(v, arena, ephemerals)
-                                    for k, v in kwargs.items()
-                                },
-                            )
+            obs_req = None
+            if tracer.enabled or metrics.remote_collection:
+                obs_req = {
+                    "ctx": tracer.current_context() if tracer.enabled else None,
+                    "metrics": metrics.remote_collection,
+                }
+            arena = self._arena_or_none()
+            packed = []
+            for fn, args, kwargs in specs:
+                try:
+                    packed.append(
+                        (
+                            fn,
+                            tuple(self._pack_arg(a, arena, ephemerals) for a in args),
+                            {
+                                k: self._pack_arg(v, arena, ephemerals)
+                                for k, v in kwargs.items()
+                            },
                         )
-                    except SharedMemoryUnavailableError as exc:
-                        self._lose_shm(exc)
-                        arena = None
-                        packed.append((fn, tuple(args), dict(kwargs)))
-                share_prefix = arena.prefix if arena is not None else None
-                sizes = _chunk_sizes(len(packed), self.workers * CHUNKS_PER_WORKER)
-                futures = []
-                offsets = []
+                    )
+                except SharedMemoryUnavailableError as exc:
+                    self._lose_shm(exc)
+                    arena = None
+                    packed.append((fn, tuple(args), dict(kwargs)))
+            share_prefix = arena.prefix if arena is not None else None
+            futures: list = []
+            offsets: list[int] = []
+            if packed:
                 pos = 0
-                for size in sizes:
+                for size in _chunk_sizes(len(packed), self.workers * CHUNKS_PER_WORKER):
                     chunk = packed[pos : pos + size]
                     if obs_req is None:
                         payload = pickle.dumps((chunk, share_prefix))
@@ -383,46 +425,98 @@ class ProcessMachine:
                     futures.append(pool.submit(run_chunk, payload))
                     offsets.append(pos)
                     pos += size
-                raw = self._collect(futures, timeout)
-                results: list[Any] = []
-                for offset, blob in zip(offsets, raw):
-                    returned += len(blob)
-                    status, *rest = pickle.loads(blob)
-                    if status == "err":
-                        local_i, exc = rest
-                        for f in futures:
-                            f.cancel()
-                        if hasattr(exc, "add_note"):
-                            exc.add_note(
-                                f"raised by task {offset + local_i} of a "
-                                f"{len(specs)}-task round"
-                            )
-                        raise exc
-                    if len(rest) > 1 and rest[1] is not None:
-                        events, delta = rest[1]
-                        if events:
-                            tracer.adopt(events)
-                        if delta:
-                            metrics.merge(delta)
-                    for item in rest[0]:
-                        if isinstance(item, ArrayHandle):
-                            item = self._arena.adopt(item)
-                        results.append(item)
-                return results
-        finally:
+            return _PendingRound(
+                futures, offsets, ephemerals, len(specs), timeout, shipped, start
+            )
+        except BaseException:
+            # failed submission: the drain that would normally release and
+            # account will never run — do it here so nothing leaks
             if self._arena is not None:
                 for name in ephemerals:
                     self._arena.release(name)
             self.bytes_shipped += shipped
-            self.bytes_returned += returned
             self.last_round_shipped = shipped
-            self.last_round_returned = returned
             self._elapsed += time.perf_counter() - start
             self.rounds += 1
             self.tasks += len(specs)
             metrics.inc("transport.bytes_shipped", shipped)
-            metrics.inc("transport.bytes_returned", returned)
             self._account_round(len(specs))
+            raise
+
+    def drain_round(self, pending: _PendingRound) -> list:
+        """Wait for a round submitted by :meth:`submit_round_arrays`,
+        unpack its results (adopting large array results as shared
+        segments) and perform the round's accounting. Each pending round
+        must be drained exactly once; the round deadline (``timeout``
+        captured at submission) starts when the drain starts."""
+        tracer = get_tracer()
+        metrics = get_metrics()
+        returned = 0
+        try:
+            raw = self._collect(pending.futures, pending.timeout)
+            results: list[Any] = []
+            for offset, blob in zip(pending.offsets, raw):
+                returned += len(blob)
+                status, *rest = pickle.loads(blob)
+                if status == "err":
+                    local_i, exc = rest
+                    for f in pending.futures:
+                        f.cancel()
+                    if hasattr(exc, "add_note"):
+                        exc.add_note(
+                            f"raised by task {offset + local_i} of a "
+                            f"{pending.n_specs}-task round"
+                        )
+                    raise exc
+                if len(rest) > 1 and rest[1] is not None:
+                    events, delta = rest[1]
+                    if events:
+                        tracer.adopt(events)
+                    if delta:
+                        metrics.merge(delta)
+                for item in rest[0]:
+                    if isinstance(item, ArrayHandle):
+                        item = self._arena.adopt(item)
+                    results.append(item)
+            return results
+        finally:
+            if self._arena is not None:
+                for name in pending.ephemerals:
+                    self._arena.release(name)
+            self.bytes_shipped += pending.shipped
+            self.bytes_returned += returned
+            self.last_round_shipped = pending.shipped
+            self.last_round_returned = returned
+            self._elapsed += time.perf_counter() - pending.start
+            self.rounds += 1
+            self.tasks += pending.n_specs
+            metrics.inc("transport.bytes_shipped", pending.shipped)
+            metrics.inc("transport.bytes_returned", returned)
+            self._account_round(pending.n_specs)
+
+    def run_round_arrays(
+        self, specs: Sequence[tuple[Callable, tuple, dict]], *, timeout: float | None = None
+    ) -> list:
+        """One round of ``(fn, args, kwargs)`` specs with array transport.
+
+        Array arguments travel as shared-memory handles (shm transport)
+        or serialized values (pickle transport / after fallback); the
+        round is submitted as chunks of specs, one future per chunk, and
+        large array results come back as adopted shared segments.
+        Synchronous composition of :meth:`submit_round_arrays` +
+        :meth:`drain_round` under one ``machine.round_arrays`` span.
+
+        When tracing is enabled (or ``--metrics-out`` requested remote
+        collection), each chunk payload carries an observability request:
+        workers record spans parented under this round's span and ship
+        back per-chunk metric deltas, which are folded into the parent's
+        tracer/registry here (see ``repro.obs``). The obs slot is absent
+        by default, so the bytes-shipped accounting of an unobserved run
+        is unchanged.
+        """
+        specs = list(specs)
+        with get_tracer().span("machine.round_arrays", args={"tasks": len(specs)}):
+            return self.drain_round(self.submit_round_arrays(specs, timeout=timeout))
 
     def run_uniform_round(self, tasks):
         """Uniform rounds degrade to plain rounds on real machines (the

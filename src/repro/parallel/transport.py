@@ -56,6 +56,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..errors import SharedMemoryUnavailableError
+from ..obs.metrics import inc as _metric_inc
 
 try:  # pragma: no cover - import failure is platform dependent
     from multiprocessing import resource_tracker, shared_memory
@@ -143,6 +144,8 @@ class SharedArena:
         self._refs: dict[str, int] = {}
         self._ranges: dict[str, tuple[int, int]] = {}  # name -> (base addr, size)
         self._deferred: dict[str, Any] = {}  # unlinked but still mapped
+        self._slab_free: dict[str, int] = {}  # reusable slab name -> capacity
+        self._slab_used: dict[str, int] = {}  # checked-out slab name -> capacity
         self.closed = False
         # probe: fail fast (and fall back) when segments cannot be created
         probe = shared_memory.SharedMemory(
@@ -206,6 +209,68 @@ class SharedArena:
             handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf, offset=handle.offset
         )
 
+    # -- slab pool -----------------------------------------------------
+
+    def slab(self, shape: tuple, dtype) -> np.ndarray:
+        """Check out a reusable scratch segment shaped ``(shape, dtype)``.
+
+        Unlike :meth:`put`, slabs are meant to be written in place, shipped
+        (their views map to handles via :meth:`handle_of`), and *returned to
+        the pool* with :meth:`recycle` / :meth:`reset` instead of released —
+        a steady-state round pipeline reuses the same few segments forever
+        instead of churning one arena segment per round. Capacities are
+        rounded up to powers of two so ragged shape buckets share slabs.
+
+        Slab contents are NOT zeroed on reuse; callers must fully
+        initialize whatever cells they read.
+        """
+        if self.closed:
+            raise SharedMemoryUnavailableError("arena is closed")
+        if self.fail_after is not None and self._puts >= self.fail_after:
+            from .chaos import ChaosSharedMemoryLoss
+
+            raise ChaosSharedMemoryLoss(
+                f"chaos: shared memory lost after {self._puts} segment(s)"
+            )
+        dtype = np.dtype(dtype)
+        count = 1
+        for s in shape:
+            count *= int(s)
+        need = max(1, count * dtype.itemsize)
+        best = None
+        for name, cap in self._slab_free.items():
+            if cap >= need and (best is None or cap < self._slab_free[best]):
+                best = name
+        if best is not None:
+            self._slab_used[best] = self._slab_free.pop(best)
+            shm = self._segments[best]
+            _metric_inc("transport.slab_reuses", 1)
+        else:
+            cap = max(ARENA_MIN_BYTES, 1 << (need - 1).bit_length())
+            shm = self._new_segment(cap)
+            self._register(shm)
+            self._slab_used[shm.name] = cap
+            _metric_inc("transport.slab_allocs", 1)
+        self._puts += 1
+        return np.ndarray(shape, dtype=dtype, buffer=shm.buf)
+
+    def recycle(self, arr: np.ndarray) -> bool:
+        """Return the slab backing *arr* to the free pool. Safe to call
+        only once no in-flight round still reads the slab. Returns whether
+        *arr* was slab-backed (no-op, ``False`` otherwise)."""
+        handle = self.handle_of(arr) if isinstance(arr, np.ndarray) else None
+        if handle is None or handle.name not in self._slab_used:
+            return False
+        self._slab_free[handle.name] = self._slab_used.pop(handle.name)
+        return True
+
+    def reset(self) -> None:
+        """Return every checked-out slab to the free pool (round-boundary
+        bulk recycle). Segments stay allocated and mapped — only their
+        availability changes; :meth:`close` still unlinks them."""
+        self._slab_free.update(self._slab_used)
+        self._slab_used.clear()
+
     # -- handle mapping ------------------------------------------------
 
     def handle_of(self, arr: np.ndarray) -> ArrayHandle | None:
@@ -240,6 +305,8 @@ class SharedArena:
         shm = self._segments.pop(name)
         del self._refs[name]
         del self._ranges[name]
+        self._slab_free.pop(name, None)
+        self._slab_used.pop(name, None)
         try:
             shm.unlink()
         except FileNotFoundError:  # pragma: no cover - already swept
@@ -266,6 +333,8 @@ class SharedArena:
             "segments": len(self._segments),
             "bytes": sum(size for _, size in self._ranges.values()),
             "puts": self._puts,
+            "slabs_free": len(self._slab_free),
+            "slabs_used": len(self._slab_used),
         }
 
     def close(self) -> None:
@@ -485,6 +554,52 @@ def run_array_round(machine, specs: Sequence[tuple[Callable, tuple, dict]]) -> l
     from functools import partial
 
     return machine.run_round([partial(fn, *args, **kwargs) for fn, args, kwargs in specs])
+
+
+def machine_submit_round(machine, specs: Sequence[tuple[Callable, tuple, dict]]):
+    """Submit one array round without waiting for its results.
+
+    Machines with a pipelined transport (``submit_round_arrays`` /
+    ``drain_round``, i.e. :class:`~repro.parallel.processes.ProcessMachine`
+    and wrappers that delegate it) return immediately with the round in
+    flight, so the caller can pack the next round while this one computes.
+    Everything else degrades to a synchronous :func:`run_array_round`.
+
+    Returns an opaque token for :func:`machine_drain_round`.
+    """
+    specs = list(specs)
+    sub = getattr(machine, "submit_round_arrays", None)
+    if sub is None:
+        return ("done", run_array_round(machine, specs))
+    return ("pending", machine, sub(specs))
+
+
+def machine_drain_round(token) -> list:
+    """Wait for a round submitted by :func:`machine_submit_round` and
+    return its results (in spec order)."""
+    if token[0] == "done":
+        return token[1]
+    _, machine, pending = token
+    return machine.drain_round(pending)
+
+
+def machine_slab(machine, shape: tuple, dtype) -> np.ndarray:
+    """A reusable scratch array from the machine's slab pool, or a plain
+    local array when the machine has no shared-memory slabs. Contents are
+    uninitialized either way."""
+    slab = getattr(machine, "slab", None)
+    if slab is None:
+        return np.empty(shape, dtype=dtype)
+    return slab(shape, dtype)
+
+
+def machine_recycle_slabs(machine, arrays) -> None:
+    """Return slab-backed *arrays* to the machine's pool (no-op for plain
+    arrays or machines without a slab pool). Call only after every round
+    reading the slabs has been drained."""
+    rec = getattr(machine, "recycle_slabs", None)
+    if rec is not None:
+        rec(arrays)
 
 
 def machine_localize(machine, arr):

@@ -1,0 +1,138 @@
+"""Lockstep kernel correctness: batched combing == per-pair combing."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.batch.bitlockstep import comb_bit_lockstep, pack_bit_lanes
+from repro.batch.lockstep import (
+    BATCH_BLENDS,
+    code_dtype_for,
+    comb_lockstep,
+    lockstep_strand_dtype,
+    pack_lanes,
+)
+from repro.core.bitparallel import bit_lcs
+from repro.core.combing.iterative import iterative_combing_antidiag_simd
+
+
+def _ragged_pairs(rng, count=12, max_m=24, max_n=36):
+    pairs = []
+    for _ in range(count):
+        m = int(rng.integers(1, max_m + 1))
+        n = int(rng.integers(m, max_n + 1))
+        pairs.append(
+            (rng.integers(0, 4, m).astype(np.int64), rng.integers(0, 4, n).astype(np.int64))
+        )
+    return pairs
+
+
+def _bucket_shape(pairs):
+    M = max(ca.size for ca, _ in pairs)
+    N = max(max(cb.size for _, cb in pairs), M)
+    return M, N
+
+
+@pytest.mark.parametrize("blend", BATCH_BLENDS)
+@pytest.mark.parametrize("use_16bit", [True, False])
+def test_ragged_kernels_match_per_pair(rng, blend, use_16bit):
+    pairs = _ragged_pairs(rng)
+    M, N = _bucket_shape(pairs)
+    stacks = pack_lanes(pairs, M, N)
+    out = comb_lockstep(*stacks, blend=blend, use_16bit=use_16bit, want="kernels")
+    for k, (ca, cb) in enumerate(pairs):
+        expected = iterative_combing_antidiag_simd(ca, cb)
+        got = out[k, : ca.size + cb.size].astype(np.int64)
+        assert np.array_equal(got, expected), (blend, use_16bit, k)
+
+
+@pytest.mark.parametrize("blend", BATCH_BLENDS)
+def test_ragged_scores_match_lcs(rng, blend):
+    pairs = _ragged_pairs(rng)
+    M, N = _bucket_shape(pairs)
+    stacks = pack_lanes(pairs, M, N)
+    scores = comb_lockstep(*stacks, blend=blend, want="scores")
+    assert scores.dtype == np.int64
+    for k, (ca, cb) in enumerate(pairs):
+        assert scores[k] == repro.lcs(ca, cb), (blend, k)
+
+
+def test_uniform_batch_skips_validity_masks(rng):
+    pairs = [
+        (rng.integers(0, 4, 10).astype(np.int64), rng.integers(0, 4, 15).astype(np.int64))
+        for _ in range(6)
+    ]
+    a_rev, b_codes, h_valid, b_valid, lane_m, lane_n = pack_lanes(pairs, 10, 15)
+    assert h_valid is None and b_valid is None
+    out = comb_lockstep(a_rev, b_codes, None, None, lane_m, lane_n, want="kernels")
+    for k, (ca, cb) in enumerate(pairs):
+        assert np.array_equal(
+            out[k, :25].astype(np.int64), iterative_combing_antidiag_simd(ca, cb)
+        )
+
+
+def test_dirty_alloc_memory_is_fully_initialized(rng):
+    """Slab reuse hands back dirty memory; packing must not read it."""
+    pairs = _ragged_pairs(rng, count=5)
+    M, N = _bucket_shape(pairs)
+
+    def dirty_alloc(shape, dtype):
+        arr = np.empty(shape, dtype=dtype)
+        arr[...] = ~np.zeros((), dtype=dtype) if dtype != np.bool_ else True
+        return arr
+
+    clean = comb_lockstep(*pack_lanes(pairs, M, N), want="kernels")
+    dirty = comb_lockstep(*pack_lanes(pairs, M, N, alloc=dirty_alloc), want="kernels")
+    assert np.array_equal(clean, dirty)
+
+
+def test_strand_dtype_selection():
+    assert lockstep_strand_dtype(100, 200) == np.uint16
+    assert lockstep_strand_dtype(100, 200, use_16bit=False) == np.int64
+    assert lockstep_strand_dtype(2**15, 2**15) == np.int64  # 2^16 > limit
+
+
+def test_code_dtype_covers_extremes():
+    small = [(np.array([0, 1]), np.array([2]))]
+    assert code_dtype_for(small) == np.int16
+    wide = [(np.array([0, 2**20]), np.array([1]))]
+    assert code_dtype_for(wide) == np.int32
+    huge = [(np.array([0, 2**40]), np.array([1]))]
+    assert code_dtype_for(huge) == np.int64
+
+
+def test_bad_arguments_raise(rng):
+    pairs = _ragged_pairs(rng, count=2)
+    M, N = _bucket_shape(pairs)
+    stacks = pack_lanes(pairs, M, N)
+    with pytest.raises(ValueError, match="blend"):
+        comb_lockstep(*stacks, blend="nope")
+    with pytest.raises(ValueError, match="want"):
+        comb_lockstep(*stacks, want="nope")
+
+
+def test_bit_lockstep_matches_bit_lcs(rng):
+    pairs = []
+    for _ in range(9):
+        m = int(rng.integers(1, 200))
+        n = int(rng.integers(1, 300))
+        pairs.append(
+            (rng.integers(0, 2, m).astype(np.int64), rng.integers(0, 2, n).astype(np.int64))
+        )
+    stacks = pack_bit_lanes(pairs)
+    scores = comb_bit_lockstep(*stacks)
+    for k, (ca, cb) in enumerate(pairs):
+        assert scores[k] == bit_lcs(ca, cb), k
+
+
+def test_bit_lockstep_score_invariant_to_extra_padding_words(rng):
+    """Extra all-invalid words must not change any lane's score."""
+    from repro.core.bitparallel.words import pack_a_words, pack_b_words
+
+    ca = rng.integers(0, 2, 70).astype(np.int64)
+    cb = rng.integers(0, 2, 90).astype(np.int64)
+    for extra in (0, 1, 3):
+        aw, av, _ = pack_a_words(ca, min_words=2 + extra)
+        bw, bv, _ = pack_b_words(cb, min_words=2 + extra)
+        score = comb_bit_lockstep(aw[None], av[None], bw[None], bv[None])[0]
+        assert score == bit_lcs(ca, cb)

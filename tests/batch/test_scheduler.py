@@ -1,0 +1,175 @@
+"""BatchScheduler planning and dispatch over real machines."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.batch import BatchScheduler, batch_lcs, batch_semilocal_lcs
+from repro.batch.scheduler import _ceil_pow2, lockstep_supported
+from repro.obs import get_metrics
+from repro.parallel import ProcessMachine, make_machine, shared_memory_available
+
+needs_shm = pytest.mark.skipif(
+    not shared_memory_available(), reason="POSIX shared memory unavailable"
+)
+
+
+def _pairs(rng, count=20, max_len=40):
+    pairs = []
+    for _ in range(count):
+        m = int(rng.integers(0, max_len))
+        n = int(rng.integers(0, max_len))
+        pairs.append(
+            (rng.integers(0, 4, m).astype(np.int64), rng.integers(0, 4, n).astype(np.int64))
+        )
+    return pairs
+
+
+def _reference(pairs):
+    return [repro.semilocal_lcs(a, b) for a, b in pairs]
+
+
+def _assert_equal(kernels, reference):
+    for got, ref in zip(kernels, reference):
+        assert got.m == ref.m and got.n == ref.n
+        assert np.array_equal(got.kernel, ref.kernel)
+
+
+def test_ceil_pow2_floor():
+    assert _ceil_pow2(1, 16) == 16
+    assert _ceil_pow2(17, 16) == 32
+    assert _ceil_pow2(64, 16) == 64
+    assert _ceil_pow2(65, 16) == 128
+
+
+def test_lockstep_supported_gate():
+    assert lockstep_supported("semi_antidiag_simd", {})
+    assert lockstep_supported("semi_antidiag_simd", {"blend": "arith"})
+    assert not lockstep_supported("semi_antidiag_simd", {"dtype": np.int64})
+    assert not lockstep_supported("semi_rowmajor", {})
+
+
+def test_in_process_kernels_and_scores(rng):
+    pairs = _pairs(rng)
+    ref = _reference(pairs)
+    _assert_equal(batch_semilocal_lcs(pairs), ref)
+    scores = batch_lcs(pairs)
+    assert list(scores) == [k.lcs_whole() for k in ref]
+
+
+def test_empty_and_trivial_pairs(rng):
+    pairs = [("", ""), ("", "ABC"), ("ABC", ""), ("A", "A")]
+    ref = _reference(pairs)
+    _assert_equal(batch_semilocal_lcs(pairs), ref)
+    assert list(batch_lcs(pairs)) == [0, 0, 0, 1]
+
+
+def test_orientation_flip_restored(rng):
+    # m > n pairs comb transposed and must flip back losslessly
+    pairs = [
+        (rng.integers(0, 4, 30).astype(np.int64), rng.integers(0, 4, 7).astype(np.int64)),
+        (rng.integers(0, 4, 7).astype(np.int64), rng.integers(0, 4, 30).astype(np.int64)),
+    ]
+    _assert_equal(batch_semilocal_lcs(pairs), _reference(pairs))
+
+
+def test_max_lanes_splits_megabatches(rng):
+    pairs = [
+        (rng.integers(0, 4, 12).astype(np.int64), rng.integers(0, 4, 12).astype(np.int64))
+        for _ in range(10)
+    ]
+    before = get_metrics().get("batch.megabatches").value
+    sched = BatchScheduler(None, max_lanes=3)
+    sched.run(pairs, want="scores")
+    added = get_metrics().get("batch.megabatches").value - before
+    assert added == 4  # ceil(10 / 3) megabatches in the one shared bucket
+
+
+def test_fallback_algorithms_match(rng):
+    pairs = _pairs(rng, count=8, max_len=16)
+    ref = _reference(pairs)
+    for algorithm in ("semi_rowmajor", "semi_recursive"):
+        _assert_equal(batch_semilocal_lcs(pairs, algorithm=algorithm), ref)
+    before = get_metrics().get("batch.fallback_pairs").value
+    batch_lcs(pairs, algorithm="semi_rowmajor")
+    assert get_metrics().get("batch.fallback_pairs").value - before == len(
+        [p for p in pairs if p[0].size and p[1].size]
+    )
+
+
+def test_unsupported_kwargs_force_fallback(rng):
+    pairs = _pairs(rng, count=4, max_len=10)
+    ref = _reference(pairs)
+    # dtype kwarg is not lockstep-compatible; must still be correct
+    _assert_equal(
+        batch_semilocal_lcs(pairs, algorithm="semi_antidiag_simd", dtype=np.int64), ref
+    )
+
+
+@needs_shm
+def test_process_machine_shm_round_trip(rng):
+    pairs = _pairs(rng, count=25)
+    ref = _reference(pairs)
+    with ProcessMachine(workers=2, transport="shm") as machine:
+        _assert_equal(batch_semilocal_lcs(pairs, machine=machine), ref)
+        scores = batch_lcs(pairs, machine=machine)
+        assert list(scores) == [k.lcs_whole() for k in ref]
+
+
+@needs_shm
+def test_slab_pool_reused_across_batches(rng):
+    pairs = [
+        (rng.integers(0, 4, 20).astype(np.int64), rng.integers(0, 4, 20).astype(np.int64))
+        for _ in range(6)
+    ]
+    with ProcessMachine(workers=2, transport="shm") as machine:
+        batch_lcs(pairs, machine=machine)
+        first = machine.transport_stats()["arena"]
+        assert first["slabs_free"] > 0 and first["slabs_used"] == 0
+        before_allocs = get_metrics().get("transport.slab_allocs").value
+        batch_lcs(pairs, machine=machine)
+        second = machine.transport_stats()["arena"]
+        # steady state: same segments recycled, nothing newly allocated
+        assert second["segments"] == first["segments"]
+        assert get_metrics().get("transport.slab_allocs").value == before_allocs
+        reuses = get_metrics().get("transport.slab_reuses").value
+        assert reuses > 0
+
+
+def test_fallback_over_machine(rng):
+    pairs = _pairs(rng, count=6, max_len=12)
+    ref = _reference(pairs)
+    machine = make_machine("processes", workers=2)
+    try:
+        _assert_equal(
+            batch_semilocal_lcs(pairs, algorithm="semi_rowmajor", machine=machine), ref
+        )
+    finally:
+        machine.close()
+
+
+def test_serial_machine_supported(rng):
+    pairs = _pairs(rng, count=6)
+    machine = make_machine("serial")
+    _assert_equal(batch_semilocal_lcs(pairs, machine=machine), _reference(pairs))
+
+
+def test_invalid_want_and_lanes():
+    with pytest.raises(ValueError, match="want"):
+        BatchScheduler(None).run([("A", "B")], want="nope")
+    with pytest.raises(ValueError, match="max_lanes"):
+        BatchScheduler(None, max_lanes=0)
+
+
+def test_metrics_accumulate(rng):
+    pairs = _pairs(rng, count=5, max_len=10)
+    metrics = get_metrics()
+    before = {
+        name: metrics.get(name).value
+        for name in ("batch.pairs", "batch.megabatches", "batch.real_cells")
+    }
+    batch_lcs(pairs)
+    assert metrics.get("batch.pairs").value - before["batch.pairs"] == len(pairs)
+    assert metrics.get("batch.megabatches").value >= before["batch.megabatches"]
+    real = sum(a.size * b.size for a, b in pairs)
+    assert metrics.get("batch.real_cells").value - before["batch.real_cells"] == real

@@ -60,6 +60,48 @@ class TestTable:
         assert get_precalc_table(4) is get_precalc_table(4)
 
 
+class TestWarmOnce:
+    def test_builds_exactly_once_per_process(self, monkeypatch):
+        from repro.core.steady_ant import precalc as mod
+        from repro.obs import get_metrics
+
+        monkeypatch.setattr(mod, "_shared_tables", {})
+        metrics = get_metrics()
+        builds0 = metrics.get("steady_ant.precalc_builds").value
+        hits0 = metrics.get("steady_ant.precalc_hits").value
+        first = get_precalc_table(5)
+        for _ in range(4):
+            assert get_precalc_table(5) is first
+        assert metrics.get("steady_ant.precalc_builds").value - builds0 == 1
+        assert metrics.get("steady_ant.precalc_hits").value - hits0 == 4
+
+    def test_worker_cache_hits_collected_from_processes(self):
+        """Pool workers serving many steady-ant tasks must warm the table
+        once each and answer the rest from cache; the hit counter rides
+        home in the round's metric delta."""
+        from repro.obs import get_metrics
+        from repro.parallel import ProcessMachine, run_array_round
+
+        metrics = get_metrics()
+        hits_before = metrics.get("steady_ant.precalc_hits").value
+        rng = np.random.default_rng(3)
+        specs = [
+            (steady_ant_precalc, (rng.permutation(40), rng.permutation(40)), {})
+            for _ in range(8)
+        ]
+        prev = metrics.remote_collection
+        metrics.remote_collection = True
+        try:
+            with ProcessMachine(workers=2) as machine:
+                results = run_array_round(machine, specs)
+        finally:
+            metrics.remote_collection = prev
+        assert len(results) == 8
+        # 8 tasks across <= 2 fresh workers: at least 6 lookups were
+        # answered by an already-built table, merged back via the delta
+        assert metrics.get("steady_ant.precalc_hits").value - hits_before >= 6
+
+
 class TestPrecalcMultiply:
     def test_matches_dense_with_order4_table(self, rng):
         for _ in range(30):

@@ -1,0 +1,206 @@
+"""Round pipelining (submit/drain) and the SharedArena slab pool (PR 5).
+
+Covers: split submit/drain equality with the synchronous path, multiple
+interleaved in-flight rounds, error attribution mid-round, the reusable
+slab pool lifecycle (best-fit reuse, recycle, reset, release purge),
+fallbacks for machines without a pipelined transport, and fault/chaos
+semantics through ResilientMachine's pipelined surface.
+"""
+
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    ChaosError,
+    ChaosMachine,
+    FaultPolicy,
+    ProcessMachine,
+    ResilientMachine,
+    SerialMachine,
+    machine_drain_round,
+    machine_recycle_slabs,
+    machine_slab,
+    machine_submit_round,
+    shared_memory_available,
+)
+from repro.parallel.transport import SharedArena
+
+pytestmark = pytest.mark.skipif(
+    not shared_memory_available(), reason="no multiprocessing.shared_memory"
+)
+
+
+def _double(a, k=2):
+    return a * k
+
+
+def _total(a, b):
+    return float(a.sum() + b.sum())
+
+
+def _boom(x):
+    raise RuntimeError("boom")
+
+
+class TestSlabPool:
+    def test_best_fit_reuse(self):
+        arena = SharedArena()
+        try:
+            a = arena.slab((100,), np.float64)  # 800 B -> 2048 B segment
+            b = arena.slab((1000,), np.float64)  # 8000 B -> 8192 B segment
+            assert arena.stats()["slabs_used"] == 2
+            arena.recycle(a)
+            arena.recycle(b)
+            assert arena.stats()["slabs_free"] == 2
+            # a 600 B request must take the 2048 B slab, not the 8192 B one
+            c = arena.slab((75,), np.float64)
+            assert c.nbytes == 600
+            assert arena.stats() == {**arena.stats(), "slabs_free": 1, "slabs_used": 1}
+            assert arena.stats()["segments"] == 2  # no new allocation
+        finally:
+            arena.close()
+
+    def test_reset_returns_everything(self):
+        arena = SharedArena()
+        try:
+            arena.slab((10, 10), np.int64)
+            arena.slab((5,), np.bool_)
+            assert arena.stats()["slabs_used"] == 2
+            arena.reset()
+            assert arena.stats()["slabs_used"] == 0
+            assert arena.stats()["slabs_free"] == 2
+        finally:
+            arena.close()
+
+    def test_release_purges_pool(self):
+        arena = SharedArena()
+        try:
+            arr = arena.slab((50,), np.float64)
+            handle = arena.handle_of(arr)
+            assert handle is not None
+            del arr
+            arena.release(handle.name)
+            assert arena.stats()["slabs_used"] == 0
+            assert arena.stats()["slabs_free"] == 0
+        finally:
+            arena.close()
+
+    def test_recycle_foreign_array_is_noop(self):
+        arena = SharedArena()
+        try:
+            assert arena.recycle(np.zeros(4)) is False
+        finally:
+            arena.close()
+
+    def test_machine_slab_fallback_without_pool(self):
+        arr = machine_slab(SerialMachine(), (3, 3), np.int32)
+        assert arr.shape == (3, 3) and arr.dtype == np.int32
+        machine_recycle_slabs(SerialMachine(), [arr])  # no-op, no error
+
+
+class TestSubmitDrain:
+    def test_split_equals_synchronous(self):
+        data = [np.arange(64) + i for i in range(6)]
+        with ProcessMachine(workers=2, transport="shm") as machine:
+            specs = [(_double, (a,), {"k": 3}) for a in data]
+            sync = machine.run_round_arrays(specs)
+            pending = machine.submit_round_arrays(specs)
+            split = machine.drain_round(pending)
+        for s, p, a in zip(sync, split, data):
+            assert np.array_equal(s, a * 3)
+            assert np.array_equal(p, a * 3)
+
+    def test_two_rounds_in_flight(self):
+        with ProcessMachine(workers=2, transport="shm") as machine:
+            p1 = machine.submit_round_arrays([(_double, (np.arange(10),), {})])
+            p2 = machine.submit_round_arrays([(_double, (np.arange(5),), {"k": 4})])
+            # drain out of submission order: each round is independent
+            r2 = machine.drain_round(p2)
+            r1 = machine.drain_round(p1)
+        assert np.array_equal(r1[0], np.arange(10) * 2)
+        assert np.array_equal(r2[0], np.arange(5) * 4)
+
+    def test_rounds_accounting(self):
+        with ProcessMachine(workers=2, transport="shm") as machine:
+            p1 = machine.submit_round_arrays([(_double, (np.arange(4),), {})])
+            p2 = machine.submit_round_arrays([(_double, (np.arange(4),), {})])
+            machine.drain_round(p1)
+            machine.drain_round(p2)
+            assert machine.rounds == 2
+            assert machine.tasks == 2
+
+    def test_error_carries_task_index(self):
+        with ProcessMachine(workers=2, transport="shm") as machine:
+            specs = [(_double, (np.arange(4),), {}), (_boom, (1,), {})]
+            pending = machine.submit_round_arrays(specs)
+            with pytest.raises(RuntimeError, match="boom") as err:
+                machine.drain_round(pending)
+        if sys.version_info >= (3, 11):  # add_note exists
+            notes = getattr(err.value, "__notes__", [])
+            assert any("task 1" in note for note in notes)
+
+    def test_slab_backed_args_ship_as_handles(self):
+        with ProcessMachine(workers=2, transport="shm") as machine:
+            a = machine.slab((64, 8), np.float64)
+            b = machine.slab((64, 8), np.float64)
+            a[...] = 1.0
+            b[...] = 2.0
+            before = machine.bytes_shipped
+            pending = machine.submit_round_arrays([(_total, (a, b), {})])
+            (result,) = machine.drain_round(pending)
+            assert result == a.size * 3.0
+            # two 4 KiB arrays travelled as compact handles, not pickles
+            assert machine.bytes_shipped - before < a.nbytes
+            machine.recycle_slabs([a, b])
+            assert machine.transport_stats()["arena"]["slabs_free"] == 2
+
+    def test_machine_helpers_fall_back_synchronously(self):
+        machine = SerialMachine()
+        token = machine_submit_round(machine, [(_double, (np.arange(3),), {})])
+        assert token[0] == "done"
+        (result,) = machine_drain_round(token)
+        assert np.array_equal(result, np.arange(3) * 2)
+
+
+class TestResilientPipelining:
+    def test_submit_drain_passthrough(self):
+        with ProcessMachine(workers=2, transport="shm") as inner:
+            machine = ResilientMachine(inner, FaultPolicy(seed=1))
+            token = machine_submit_round(machine, [(_double, (np.arange(6),), {})])
+            assert token[0] == "pending"
+            (result,) = machine_drain_round(token)
+            assert np.array_equal(result, np.arange(6) * 2)
+
+    def test_chaos_failure_recovered_at_drain(self):
+        # chaos injects at submission; the raiser fires inside the worker
+        # at drain time, and the resilient wrapper must retry with the
+        # original (pre-chaos) specs and still return correct results
+        with ProcessMachine(workers=2, transport="shm") as inner:
+            chaotic = ChaosMachine(inner, fail_rate=1.0, seed=3)
+            machine = ResilientMachine(
+                chaotic, FaultPolicy(max_retries=3, backoff_base=0.0, seed=3)
+            )
+            specs = [(_double, (np.arange(8),), {"k": 5})]
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore")
+                token = machine_submit_round(machine, specs)
+                (result,) = machine_drain_round(token)
+        assert np.array_equal(result, np.arange(8) * 5)
+
+    def test_chaos_without_recovery_raises(self):
+        with ProcessMachine(workers=2, transport="shm") as inner:
+            chaotic = ChaosMachine(inner, fail_rate=1.0, seed=7)
+            specs = [(_double, (np.arange(4),), {})]
+            token = machine_submit_round(chaotic, specs)
+            with pytest.raises(ChaosError):
+                machine_drain_round(token)
+
+    def test_serial_chaos_has_no_pipeline_surface(self):
+        # ChaosMachine(SerialMachine) exposes no submit_round_arrays, so
+        # the helper falls back to a synchronous "done" token
+        chaotic = ChaosMachine(SerialMachine(), fail_rate=0.0, seed=0)
+        token = machine_submit_round(chaotic, [(_double, (np.arange(3),), {})])
+        assert token[0] == "done"
