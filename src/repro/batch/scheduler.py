@@ -164,6 +164,11 @@ class BatchScheduler:
         self.min_side = int(min_side)
         self.pipeline_depth = int(pipeline_depth)
         self.algo_kwargs = dict(algo_kwargs)
+        #: stats of the most recent :meth:`run` (pairs, megabatches,
+        #: padded/real cells, fallback pairs, per-megabatch lane counts)
+        #: — long-lived callers (the serving engine) read these instead
+        #: of diffing the global metrics registry between requests
+        self.last_stats: dict = {}
 
     # -- public ---------------------------------------------------------
 
@@ -209,6 +214,7 @@ class BatchScheduler:
         for lanes in lanes_hist:
             hist.observe(lanes)
         metrics.gauge("batch.pipeline_depth").set_max(self.pipeline_depth)
+        self.last_stats = {**stats, "lanes": list(lanes_hist)}
         return out
 
     # -- fallback path --------------------------------------------------

@@ -1,4 +1,4 @@
-"""Run cleanup hooks on SIGINT/SIGTERM.
+"""Run cleanup hooks on SIGINT/SIGTERM — safely, even in long-lived processes.
 
 Every store artifact commits atomically the moment its node finishes,
 so the only in-flight state a dying process can lose is buffered journal
@@ -12,11 +12,28 @@ cannot be caught — crash-resume still works because of the atomic
 per-node commits, and leaked segments are reclaimed by the shared
 resource tracker; the handlers just make *graceful* interruption lose
 nothing at all.
+
+Long-lived processes (the ``repro-lcs serve`` daemon) stressed the
+original one-shot design into three fixes:
+
+- **once-only cleanups** — a latch guarantees the cleanup list runs
+  exactly once however many signals are delivered (double-SIGTERM used
+  to re-enter the cleanups mid-run); a second signal still exits, it
+  just skips the re-run;
+- **handler chaining** — previously installed handlers (an outer
+  ``cleanup_on_signals`` block, a framework's handler) are *called*
+  after the cleanups instead of being silently clobbered until block
+  exit;
+- **opt-out of exiting** — ``exit_on_signal=False`` turns the signal
+  into "run the cleanups, notify the chain, keep living", which is what
+  a daemon mid-drain needs (the asyncio server uses loop handlers, but
+  any synchronous long-runner can use this).
 """
 
 from __future__ import annotations
 
 import signal
+import threading
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
@@ -26,42 +43,69 @@ _SIGNALS = ("SIGINT", "SIGTERM")
 
 
 @contextmanager
-def cleanup_on_signals(*cleanups: Callable[[], None]) -> Iterator[None]:
-    """Within the block, SIGINT/SIGTERM run the *cleanups* in order, then
-    exit with ``128 + signum``. The cleanups also run on normal exit from
-    the block (they must be idempotent).
+def cleanup_on_signals(
+    *cleanups: Callable[[], None],
+    chain: bool = True,
+    exit_on_signal: bool = True,
+) -> Iterator[None]:
+    """Within the block, SIGINT/SIGTERM run the *cleanups* (exactly once,
+    even under repeated signals), invoke any previously installed handler
+    (``chain=True``), then exit with ``128 + signum``
+    (``exit_on_signal=True``). The cleanups also run on normal exit from
+    the block; the once-latch makes that safe for non-idempotent
+    cleanups too.
+
+    A second signal delivered while the cleanups are still running does
+    not re-enter them: it exits immediately (or returns, with
+    ``exit_on_signal=False``), which is the behaviour a long-lived
+    process needs under double-SIGTERM or SIGTERM-during-drain.
 
     No-op (but still a valid context) when not on the main thread or on
     platforms lacking a signal — installing handlers simply fails open.
     """
+    ran = threading.Event()
+    once_lock = threading.Lock()
+    previous: dict = {}
 
-    def run_cleanups() -> None:
+    def run_cleanups() -> bool:
+        """Run the cleanups once; False when another caller already did."""
+        with once_lock:
+            if ran.is_set():
+                return False
+            ran.set()
         for cleanup in cleanups:
             try:
                 cleanup()
             except Exception:  # pragma: no cover - cleanup is best effort
                 pass
+        return True
 
     def handler(signum, frame):  # noqa: ARG001 - signal handler signature
         run_cleanups()
-        raise SystemExit(128 + signum)
+        if chain:
+            prev = previous.get(signum)
+            # chain real custom handlers; the stock SIGINT handler would
+            # turn 128+signum exits into KeyboardInterrupt tracebacks
+            if callable(prev) and prev is not signal.default_int_handler:
+                prev(signum, frame)
+        if exit_on_signal:
+            raise SystemExit(128 + signum)
 
-    previous = {}
     for name in _SIGNALS:
         sig = getattr(signal, name, None)
         if sig is None:  # pragma: no cover - platform dependent
             continue
         try:
-            previous[sig] = signal.signal(sig, handler)
+            previous[int(sig)] = signal.signal(sig, handler)
         except (ValueError, OSError):  # pragma: no cover - non-main thread
             pass
     try:
         yield
     finally:
         run_cleanups()
-        for sig, old in previous.items():
+        for signum, old in previous.items():
             try:
-                signal.signal(sig, old)
+                signal.signal(signum, old)
             except (ValueError, OSError):  # pragma: no cover
                 pass
 

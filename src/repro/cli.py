@@ -17,6 +17,13 @@ Subcommands
 - ``batch PAIRS`` — many-pair LCS through the batched throughput engine
   (``PAIRS`` is a TAB-separated two-column file, ``-`` for stdin);
   prints one ``index TAB score`` line per pair plus a pairs/sec summary,
+- ``serve`` — the long-lived async batching daemon: continuous batching
+  over concurrent clients with admission control, per-client quotas,
+  deadlines, Prometheus metrics and graceful SIGTERM drain,
+- ``client`` — score pairs against a running daemon (``--metrics`` /
+  ``--health`` fetch its Prometheus text / health document instead),
+- ``metrics FILE`` — offline converter: a ``--metrics-out`` JSON file to
+  Prometheus text exposition format,
 - ``bench NAME`` — run a figure benchmark (``bench list`` to enumerate),
 - ``genomes`` — generate a simulated virus-strain FASTA file,
 - ``checkpoint list|verify|gc DIR`` — inspect and maintain a durable
@@ -368,6 +375,124 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .errors import ReproError
+    from .parallel import FaultPolicy
+    from .serve import Engine, LcsServer, ServerConfig
+
+    if args.transport == "shm" and args.backend != "processes":
+        raise ReproError(
+            "--transport shm requires --backend processes "
+            f"(got --backend {args.backend})"
+        )
+    chaos = None
+    if (
+        args.chaos_fail_rate > 0
+        or args.chaos_abort_after is not None
+        or args.chaos_shm_loss_after is not None
+    ):
+        chaos = {
+            "fail_rate": args.chaos_fail_rate,
+            "abort_after": args.chaos_abort_after,
+            "shm_loss_after": args.chaos_shm_loss_after,
+            "seed": args.seed,
+        }
+    policy: FaultPolicy | bool = FaultPolicy(
+        task_timeout=args.task_timeout,
+        max_retries=args.retries,
+        degrade_to_serial=not args.no_degrade,
+        seed=args.seed,
+    )
+    engine = Engine(
+        backend=args.backend,
+        workers=args.workers,
+        transport=args.transport,
+        algorithm=args.algorithm,
+        max_lanes=args.max_lanes,
+        policy=policy if args.backend != "none" else None,
+        chaos=chaos,
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        max_wait_ms=args.max_wait_ms,
+        queue_cap=args.queue_cap,
+        quota_rate=args.quota_rate,
+        quota_burst=args.quota_burst,
+        default_deadline_ms=args.default_deadline_ms,
+    )
+
+    async def run() -> dict:
+        server = LcsServer(engine, config)
+        await server.start()
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        await server.serve_forever()
+        return server.stats()
+
+    stats = asyncio.run(run())
+    print(
+        "drain complete: "
+        + ", ".join(
+            f"{k}={stats[k]}"
+            for k in ("admitted", "completed", "shed", "drained", "batches", "max_occupancy")
+        ),
+        file=sys.stderr,
+    )
+    return 0 if stats["admitted"] == stats["completed"] else 1
+
+
+def _cmd_client(args) -> int:
+    from .serve import ServeClient
+
+    with ServeClient(args.host, args.port, client_id=args.client_id) as client:
+        if args.metrics:
+            print(client.metrics(), end="")
+            return 0
+        if args.health:
+            import json
+
+            print(json.dumps(client.health(), indent=2, sort_keys=True))
+            return 0
+        from .errors import ReproError
+
+        if not args.pairs:
+            raise ReproError("client needs a PAIRS file (or --metrics / --health)")
+        pairs = _read_pairs(args.pairs)
+        import time
+
+        start = time.perf_counter()
+        scores = client.batch(pairs, deadline_ms=args.deadline_ms)
+        elapsed = time.perf_counter() - start
+        for i, score in enumerate(scores):
+            print(f"{i}\t{score}")
+        rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+        print(
+            f"client: {len(pairs)} pair(s) in {elapsed:.4f}s ({rate:.1f} pairs/s)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    from .errors import ReproError
+    from .obs import to_prometheus
+
+    with open(args.file, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    snapshot = doc.get("metrics") if isinstance(doc, dict) else None
+    if snapshot is None:
+        raise ReproError(
+            f"{args.file}: not a metrics JSON file (expected a 'metrics' key; "
+            "write one with --metrics-out)"
+        )
+    print(to_prometheus(snapshot), end="")
+    return 0
+
+
 def _cmd_bench(args) -> int:
     from .bench.figures import FIGURES
 
@@ -703,6 +828,101 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_batch)
+
+    p = sub.add_parser(
+        "serve",
+        help="long-lived async batching daemon (continuous batching + drain)",
+        description=(
+            "Serve LCS scoring over newline-delimited JSON/TCP: concurrent "
+            "client requests coalesce into lockstep megabatches on a warm "
+            "engine, behind a bounded admission queue, per-client quotas, "
+            "deadlines and structured overload errors. SIGTERM drains "
+            "gracefully: accepted requests are flushed, nothing is dropped."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    p.add_argument(
+        "--port", type=int, default=7077,
+        help="TCP port; 0 picks a free one (printed at startup; default: 7077)",
+    )
+    p.add_argument(
+        "--backend",
+        default="none",
+        choices=["none", "serial", "threads", "processes", "simulated"],
+        help="execution machine (default: none = comb in-process)",
+    )
+    p.add_argument("--workers", type=int, default=2, help="worker count for real backends")
+    p.add_argument(
+        "--transport",
+        default="pickle",
+        choices=["pickle", "shm"],
+        help="array transport for the processes backend (default: pickle)",
+    )
+    p.add_argument(
+        "--algorithm",
+        default="semi_antidiag_simd",
+        help="kernel algorithm (default: semi_antidiag_simd, the lockstep-batched one)",
+    )
+    p.add_argument("--max-lanes", type=int, default=64, metavar="B",
+                   help="megabatch width cap (default: 64)")
+    p.add_argument("--max-wait-ms", type=float, default=5.0, metavar="MS",
+                   help="batcher collection window after the first request (default: 5)")
+    p.add_argument("--queue-cap", type=int, default=256, metavar="N",
+                   help="bounded admission queue length; beyond it requests are shed (default: 256)")
+    p.add_argument("--quota-rate", type=float, default=0.0, metavar="R",
+                   help="per-client token-bucket refill rate, pairs/s (0 = unlimited)")
+    p.add_argument("--quota-burst", type=float, default=16.0, metavar="B",
+                   help="per-client token-bucket capacity (default: 16)")
+    p.add_argument("--default-deadline-ms", type=float, default=None, metavar="MS",
+                   help="deadline for requests that do not carry their own")
+    p.add_argument("--task-timeout", type=float, default=None, metavar="SECONDS",
+                   help="per-task timeout enforced by the fault policy")
+    p.add_argument("--retries", type=int, default=2,
+                   help="per-task retries after a failed round (default: 2)")
+    p.add_argument("--no-degrade", action="store_true",
+                   help="fail requests instead of degrading rounds to serial")
+    p.add_argument("--chaos-fail-rate", type=float, default=0.0, metavar="P",
+                   help="inject task failures with probability P (testing)")
+    p.add_argument("--chaos-abort-after", type=int, default=None, metavar="N",
+                   help="simulate a process death after N completed tasks (testing)")
+    p.add_argument("--chaos-shm-loss-after", type=int, default=None, metavar="N",
+                   help="inject a shared-memory outage after N segment allocations (testing)")
+    p.add_argument("--seed", type=int, default=0, help="seed for chaos + backoff jitter")
+    p.set_defaults(fn=_cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="score pairs against a running daemon",
+        description=(
+            "Send a TAB-separated pairs file to a repro-lcs serve daemon as one "
+            "'batch' request and print 'index TAB score' lines; --metrics / "
+            "--health fetch the daemon's Prometheus text / health JSON instead."
+        ),
+    )
+    p.add_argument("pairs", nargs="?", default=None,
+                   help="TAB-separated pairs file, or '-' for stdin")
+    p.add_argument("--host", default="127.0.0.1", help="daemon address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=7077, help="daemon port (default: 7077)")
+    p.add_argument("--client-id", default=None, help="quota key to send (default: peer address)")
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="deadline budget for the request")
+    p.add_argument("--metrics", action="store_true",
+                   help="print the daemon's metrics in Prometheus text format")
+    p.add_argument("--health", action="store_true",
+                   help="print the daemon's health document as JSON")
+    p.set_defaults(fn=_cmd_client)
+
+    p = sub.add_parser(
+        "metrics",
+        help="convert a --metrics-out JSON file to Prometheus text",
+        description=(
+            "Offline converter: render the metrics snapshot written by any "
+            "subcommand's --metrics-out flag in Prometheus text exposition "
+            "format (the same rendering the daemon's 'metrics' request serves)."
+        ),
+    )
+    p.add_argument("file", help="metrics JSON file written with --metrics-out")
+    p.set_defaults(fn=_cmd_metrics)
 
     p = sub.add_parser("bench", help="run a figure benchmark ('bench list')")
     p.add_argument("name")

@@ -88,6 +88,30 @@ class CheckpointCorruptionError(CheckpointError):
     """
 
 
+class ServeError(ReproError):
+    """Base class for failures of the serving layer (:mod:`repro.serve`):
+    the long-lived engine, the batching daemon and its wire protocol."""
+
+
+class EngineClosedError(ServeError):
+    """Raised when work is submitted to an :class:`repro.serve.Engine`
+    that has already been closed."""
+
+
+class RequestRejectedError(ServeError):
+    """A request the daemon answered with a structured error instead of a
+    result: admission-queue overload (``overloaded``), an exhausted
+    per-client quota (``quota_exhausted``), an expired deadline
+    (``deadline_expired``), a draining server (``draining``) or a
+    malformed request (``bad_request``). ``code`` carries the structured
+    error code so clients can implement backoff per cause."""
+
+    def __init__(self, message: str, *, code: str, request_id=None):
+        super().__init__(message)
+        self.code = code
+        self.request_id = request_id
+
+
 class ReproWarning(UserWarning):
     """Base class for all warnings emitted by the repro library."""
 

@@ -43,6 +43,7 @@ from .trace import Tracer, get_tracer
 from .export import (
     read_raw,
     to_chrome,
+    to_prometheus,
     validate_chrome_trace,
     write_chrome_trace,
     write_raw,
@@ -63,6 +64,7 @@ __all__ = [
     "reset_phases",
     "peak_rss_bytes",
     "to_chrome",
+    "to_prometheus",
     "write_chrome_trace",
     "validate_chrome_trace",
     "write_raw",

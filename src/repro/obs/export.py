@@ -26,6 +26,7 @@ __all__ = [
     "validate_chrome_trace",
     "write_raw",
     "read_raw",
+    "to_prometheus",
 ]
 
 _REQUIRED_X_KEYS = ("name", "ph", "ts", "pid", "tid")
@@ -138,6 +139,77 @@ def write_raw(path: str, events: Iterable[dict]) -> None:
         for ev in events:
             fh.write(json.dumps(ev))
             fh.write("\n")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    """Metric name in Prometheus syntax: dots become underscores."""
+    base = name.replace(".", "_").replace("-", "_")
+    return f"{prefix}_{base}" if prefix else base
+
+
+def _prom_escape(text: str) -> str:
+    """Escape a HELP string per the text exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _prom_number(value) -> str:
+    """Render a sample value (integers stay integral)."""
+    f = float(value)
+    return str(int(f)) if f.is_integer() else repr(f)
+
+
+def to_prometheus(snapshot: dict, *, prefix: str = "repro") -> str:
+    """Render a :meth:`repro.obs.metrics.Metrics.snapshot` in Prometheus
+    text exposition format (``text/plain; version=0.0.4``).
+
+    - counters get the conventional ``_total`` suffix;
+    - gauges are emitted verbatim;
+    - the power-of-two histograms become native Prometheus histograms:
+      bucket ``k`` covers ``[2^k, 2^(k+1))``, so its cumulative
+      ``le`` bound is ``2^(k+1)`` (values below 1 land in the first
+      bucket), closed by the mandatory ``le="+Inf"`` plus ``_sum`` /
+      ``_count`` samples.
+
+    This is what the daemon's ``metrics`` request type serves and what
+    ``repro-lcs metrics`` converts ``--metrics-out`` files into, so the
+    whole :data:`~repro.obs.metrics.METRIC_CATALOG` can feed a
+    Prometheus/SLO dashboard without any client library.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        if not isinstance(entry, dict):
+            raise ValueError(f"snapshot entry {name!r} is not a dict")
+        kind = entry.get("kind", "counter")
+        pname = _prom_name(name, prefix)
+        unit = entry.get("unit", "")
+        description = entry.get("description", "") or name
+        if unit:
+            description = f"{description} (unit: {unit})"
+        if kind == "counter":
+            pname += "_total"
+            lines.append(f"# HELP {pname} {_prom_escape(description)}")
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {_prom_number(entry.get('value', 0))}")
+        elif kind == "gauge":
+            lines.append(f"# HELP {pname} {_prom_escape(description)}")
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_prom_number(entry.get('value', 0.0))}")
+        elif kind == "histogram":
+            lines.append(f"# HELP {pname} {_prom_escape(description)}")
+            lines.append(f"# TYPE {pname} histogram")
+            buckets = entry.get("buckets") or {}
+            cumulative = 0
+            for k in sorted(int(b) for b in buckets):
+                cumulative += int(buckets[str(k)] if str(k) in buckets else buckets[k])
+                lines.append(f'{pname}_bucket{{le="{2 ** (k + 1)}"}} {cumulative}')
+            count = int(entry.get("count", 0))
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {count}')
+            lines.append(f"{pname}_sum {_prom_number(entry.get('sum', 0.0))}")
+            lines.append(f"{pname}_count {count}")
+        else:
+            raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+    return "\n".join(lines) + "\n"
 
 
 def read_raw(path: str) -> list[dict]:

@@ -486,6 +486,24 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str, str], ...] = (
      "Task stalls injected by ChaosMachine."),
     ("process.peak_rss_bytes", "gauge", "bytes", "obs.profile",
      "Peak resident set size of this process (high-water mark, ru_maxrss)."),
+    ("serve.requests", "counter", "requests", "serve",
+     "Protocol requests received by the batching daemon (every type, before admission)."),
+    ("serve.admitted", "counter", "requests", "serve",
+     "Scoring requests accepted into the bounded admission queue."),
+    ("serve.shed", "counter", "requests", "serve",
+     "Requests answered with the structured 'overloaded' error because the admission queue was full."),
+    ("serve.quota_rejected", "counter", "requests", "serve",
+     "Requests answered with 'quota_exhausted' by the per-client token bucket."),
+    ("serve.deadline_expired", "counter", "requests", "serve",
+     "Admitted requests whose deadline passed while queued (answered, never computed)."),
+    ("serve.drained", "counter", "requests", "serve",
+     "Accepted requests completed after a graceful drain began (the zero-drop guarantee, counted)."),
+    ("serve.batches", "counter", "batches", "serve",
+     "Continuous-batching flushes dispatched to the warm engine."),
+    ("serve.queue_depth", "gauge", "requests", "serve",
+     "Admission queue depth, sampled at every enqueue and flush."),
+    ("serve.batch_occupancy", "histogram", "requests", "serve",
+     "Requests coalesced into each continuous-batching flush (occupancy > 1 means batching pays)."),
 )
 
 

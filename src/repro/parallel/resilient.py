@@ -41,6 +41,7 @@ instead of redoing committed work (counted as ``durable_recoveries``).
 from __future__ import annotations
 
 import random
+import threading
 import time
 import warnings
 from concurrent.futures import BrokenExecutor
@@ -139,6 +140,8 @@ class ResilientMachine:
         self._can_capture = not self.remote_tasks
         self._permanent_serial = False
         self._warned = False
+        self._close_lock = threading.Lock()
+        self._closed = False
         self.retries = 0
         self.task_failures = 0
         self.timeouts = 0
@@ -352,10 +355,20 @@ class ResilientMachine:
         self.durable_recoveries = 0
 
     def close(self) -> None:
-        """Close the wrapped backend (if it has a ``close``)."""
-        close = getattr(self.inner, "close", None)
-        if close is not None:
-            close()
+        """Close the wrapped backend (if it has a ``close``).
+
+        Idempotent and thread-safe: long-lived processes may race a
+        signal handler's close against a ``finally`` block's (or receive
+        SIGTERM twice mid-drain) — the backend teardown runs exactly
+        once, and concurrent callers block until it has finished.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+            close = getattr(self.inner, "close", None)
+            if close is not None:
+                close()
 
     def __enter__(self) -> "ResilientMachine":
         return self
@@ -557,6 +570,8 @@ class ResilientMachine:
         rebuild = getattr(self.inner, "rebuild", None)
         if rebuild is not None:
             rebuild()
+            with self._close_lock:
+                self._closed = False  # a rebuild revives a closed machine
             self._bump("pool_rebuilds")
 
     def _degrade(self, serial):

@@ -1,0 +1,124 @@
+"""Blocking client for the batching daemon (``repro-lcs client``).
+
+A thin synchronous wrapper over one TCP connection speaking the
+newline-delimited JSON protocol: one request out, one response in.
+Structured server errors (overload shedding, quota exhaustion, expired
+deadlines, draining) surface as
+:class:`~repro.errors.RequestRejectedError` with the machine-readable
+``code`` attached, so callers can back off per cause.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any
+
+from ..errors import ServeError
+from .protocol import MAX_LINE_BYTES, decode_line, encode_line, result_of
+
+__all__ = ["ServeClient"]
+
+
+class ServeClient:
+    """One blocking protocol connection to a :class:`LcsServer`.
+
+    The connection opens lazily on the first request and is reused for
+    the client's lifetime (use as a context manager). ``client_id`` sets
+    the quota key sent with scoring requests (default: the daemon keys
+    quotas by peer address).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: float | None = 30.0,
+        client_id: str | None = None,
+    ):
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self.client_id = client_id
+        self._sock: socket.socket | None = None
+        self._rfile = None
+        self._next_id = 0
+
+    # -- connection -----------------------------------------------------
+
+    def connect(self) -> "ServeClient":
+        """Open the TCP connection (no-op when already connected)."""
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            self._rfile = self._sock.makefile("rb")
+        return self
+
+    def close(self) -> None:
+        """Close the connection; idempotent."""
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        return self.connect()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- protocol -------------------------------------------------------
+
+    def request(self, obj: dict) -> dict:
+        """Send one raw request object; return the raw response object.
+
+        Raises :class:`~repro.errors.ServeError` if the server closes the
+        connection without answering (a request that was never accepted).
+        """
+        self.connect()
+        if "id" not in obj:
+            self._next_id += 1
+            obj = {**obj, "id": self._next_id}
+        if self.client_id is not None and obj.get("type") in ("lcs", "batch"):
+            obj.setdefault("client", self.client_id)
+        self._sock.sendall(encode_line(obj))
+        line = self._rfile.readline(MAX_LINE_BYTES)
+        if not line:
+            self.close()
+            raise ServeError("connection closed by server before a response arrived")
+        return decode_line(line)
+
+    # -- request helpers ------------------------------------------------
+
+    def lcs(self, a: str, b: str, *, deadline_ms: float | None = None) -> int:
+        """LCS score of one pair; raises
+        :class:`~repro.errors.RequestRejectedError` on structured errors."""
+        req: dict[str, Any] = {"type": "lcs", "a": a, "b": b}
+        if deadline_ms is not None:
+            req["deadline_ms"] = deadline_ms
+        return int(result_of(self.request(req))["score"])
+
+    def batch(self, pairs, *, deadline_ms: float | None = None) -> list[int]:
+        """LCS scores of many pairs in one request (input order)."""
+        req: dict[str, Any] = {"type": "batch", "pairs": [[a, b] for a, b in pairs]}
+        if deadline_ms is not None:
+            req["deadline_ms"] = deadline_ms
+        return [int(s) for s in result_of(self.request(req))["scores"]]
+
+    def metrics(self) -> str:
+        """The daemon's metrics in Prometheus text exposition format."""
+        return str(result_of(self.request({"type": "metrics"}))["text"])
+
+    def health(self) -> dict:
+        """The daemon's status/engine/server health document."""
+        resp = result_of(self.request({"type": "health"}))
+        return {k: v for k, v in resp.items() if k not in ("id", "ok")}

@@ -1,0 +1,234 @@
+"""A long-lived execution engine with an explicit lifetime.
+
+Every one-shot CLI run pays the full build-run-teardown cycle: spawn a
+worker pool, build the steady-ant :class:`PrecalcTable`, allocate
+shared-memory slabs, comb, then tear it all down. A serving process
+answers *many* requests, so :class:`Engine` hoists that cycle into an
+object with an explicit lifetime:
+
+- :meth:`Engine.start` builds the machine **once** (optionally
+  fault-wrapped in a :class:`~repro.parallel.resilient.ResilientMachine`
+  and chaos-injected for testing), warms the process-wide
+  :class:`~repro.core.steady_ant.precalc.PrecalcTable`, and constructs a
+  persistent :class:`~repro.batch.BatchScheduler` whose shared-memory
+  slab pools are reused across requests;
+- :meth:`Engine.run_batch` answers a batch of pairs on the warm
+  machinery (thread-safe: concurrent callers serialize on an internal
+  lock, which is exactly the continuous-batching daemon's dispatch
+  discipline);
+- :meth:`Engine.drain` waits for in-flight work, :meth:`Engine.close`
+  tears the machinery down — all three lifecycle methods are idempotent,
+  so signal handlers, ``finally`` blocks and double-SIGTERM delivery may
+  race without double-freeing the pool or the arena.
+
+Faults ride up from the resilience layer: a chaos-killed worker or a
+lost shared-memory segment is retried, the pool rebuilt, and ultimately
+the round degrades to serial — the engine keeps answering (degraded
+mode), and :meth:`Engine.health` reports how much fault handling that
+took so the daemon can expose it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Sequence
+
+from ..batch import BatchScheduler, LOCKSTEP_ALGORITHM
+from ..errors import EngineClosedError
+from ..obs import collect_machine
+from ..parallel import FaultPolicy, make_machine
+
+__all__ = ["Engine"]
+
+
+class Engine:
+    """Warm build-run-teardown lifecycle for many-request serving.
+
+    Parameters
+    ----------
+    backend:
+        ``"none"`` (comb in-process) or any
+        :data:`repro.parallel.MACHINE_KINDS` name. Real backends are
+        wrapped in a :class:`~repro.parallel.resilient.ResilientMachine`
+        so worker faults degrade instead of failing requests.
+    workers:
+        Worker count for pool-backed backends.
+    transport:
+        ``"pickle"`` or ``"shm"`` for the processes backend.
+    algorithm:
+        Semi-local kernel algorithm; the default is the lockstep-batched
+        one (anything else rides the per-pair fallback path).
+    max_lanes / min_side / pipeline_depth:
+        :class:`~repro.batch.BatchScheduler` knobs.
+    policy:
+        A :class:`~repro.parallel.resilient.FaultPolicy`; defaults to
+        ``FaultPolicy()`` (retries + degrade-to-serial) on real
+        backends. Pass ``False`` to run the bare backend.
+    chaos:
+        Optional :class:`~repro.parallel.chaos.ChaosMachine` kwargs for
+        fault-injection testing (``fail_rate``, ``crash_rate``,
+        ``shm_loss_after``, ``seed``, ...).
+    warm_precalc:
+        Build the steady-ant precalc table at :meth:`start` instead of
+        lazily inside the first request.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "none",
+        workers: int = 2,
+        transport: str = "pickle",
+        algorithm: str = LOCKSTEP_ALGORITHM,
+        max_lanes: int = 64,
+        min_side: int = 16,
+        pipeline_depth: int = 2,
+        policy: FaultPolicy | bool | None = None,
+        chaos: dict | None = None,
+        warm_precalc: bool = True,
+        **algo_kwargs,
+    ):
+        self.backend = backend
+        self.workers = int(workers)
+        self.transport = transport
+        self.algorithm = algorithm
+        self.max_lanes = int(max_lanes)
+        self.min_side = int(min_side)
+        self.pipeline_depth = int(pipeline_depth)
+        self.policy = policy
+        self.chaos = dict(chaos) if chaos else None
+        self.warm_precalc = bool(warm_precalc)
+        self.algo_kwargs = dict(algo_kwargs)
+        self.machine = None
+        self.scheduler: BatchScheduler | None = None
+        self.batches = 0
+        self.pairs_served = 0
+        self._lock = threading.Lock()
+        self._state_lock = threading.Lock()
+        self._state = "new"
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``"new"``, ``"running"`` or ``"closed"``."""
+        return self._state
+
+    def start(self) -> "Engine":
+        """Build the warm machinery; idempotent, returns ``self``.
+
+        Starting a closed engine raises
+        :class:`~repro.errors.EngineClosedError` — a lifetime runs
+        forward only (build a new engine to serve again).
+        """
+        with self._state_lock:
+            if self._state == "closed":
+                raise EngineClosedError("cannot start a closed engine")
+            if self._state == "running":
+                return self
+            if self.backend != "none":
+                policy = self.policy
+                if policy is None:
+                    policy = FaultPolicy()
+                backend_kwargs = (
+                    {"transport": self.transport} if self.backend == "processes" else {}
+                )
+                self.machine = make_machine(
+                    self.backend,
+                    workers=self.workers,
+                    policy=policy,
+                    chaos=self.chaos,
+                    **backend_kwargs,
+                )
+            if self.warm_precalc:
+                from ..core.steady_ant.precalc import get_precalc_table
+
+                get_precalc_table()
+            self.scheduler = BatchScheduler(
+                self.machine,
+                algorithm=self.algorithm,
+                max_lanes=self.max_lanes,
+                min_side=self.min_side,
+                pipeline_depth=self.pipeline_depth,
+                **self.algo_kwargs,
+            )
+            self._state = "running"
+        return self
+
+    def drain(self) -> None:
+        """Wait for any in-flight batch to finish; idempotent.
+
+        Does not refuse new work — admission control lives one layer up
+        (the daemon stops *submitting* before it closes the engine).
+        """
+        with self._lock:
+            pass
+
+    def close(self) -> None:
+        """Drain, then tear down the machine and its shared memory.
+
+        Idempotent and thread-safe: a signal handler and a ``finally``
+        block may both call it (double-SIGTERM included); the teardown
+        runs exactly once.
+        """
+        with self._state_lock:
+            if self._state == "closed":
+                return
+            self._state = "closed"
+        with self._lock:  # wait for an in-flight batch
+            machine, self.machine, self.scheduler = self.machine, None, None
+        if machine is not None:
+            collect_machine(machine)
+            close = getattr(machine, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "Engine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- serving --------------------------------------------------------
+
+    def run_batch(self, pairs: Sequence, want: str = "scores") -> list:
+        """Answer one batch of ``(a, b)`` pairs on the warm machinery.
+
+        Thread-safe (batches serialize on the engine lock). Raises
+        :class:`~repro.errors.EngineClosedError` once closed; an unstarted
+        engine starts itself on first use.
+        """
+        if self._state == "new":
+            self.start()
+        with self._lock:
+            if self._state == "closed":
+                raise EngineClosedError("engine is closed")
+            out = self.scheduler.run(pairs, want=want)
+            self.batches += 1
+            self.pairs_served += len(out)
+            return out
+
+    def scores(self, pairs: Sequence) -> list[int]:
+        """LCS scores for *pairs* (ints, input order) on the warm engine."""
+        return [int(s) for s in self.run_batch(pairs, want="scores")]
+
+    # -- health ---------------------------------------------------------
+
+    def health(self) -> dict:
+        """Lifecycle state plus the resilience/transport counters of the
+        warm machine (empty dicts when in-process)."""
+        info: dict = {
+            "state": self._state,
+            "backend": self.backend,
+            "algorithm": self.algorithm,
+            "batches": self.batches,
+            "pairs_served": self.pairs_served,
+        }
+        machine = self.machine
+        health = getattr(machine, "health", None)
+        info["resilience"] = health() if health is not None else {}
+        stats = getattr(machine, "transport_stats", None)
+        info["transport"] = stats() if stats is not None else {}
+        scheduler = self.scheduler
+        info["last_batch"] = dict(scheduler.last_stats) if scheduler is not None else {}
+        return info

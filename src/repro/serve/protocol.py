@@ -1,0 +1,104 @@
+"""Wire protocol of the batching daemon: newline-delimited JSON.
+
+One request per line, one response per line, both UTF-8 JSON objects.
+Requests carry a ``type`` — ``lcs`` (one pair), ``batch`` (many pairs),
+``metrics`` (Prometheus text exposition), ``health`` (engine + server
+state) — plus an optional client-chosen ``id`` echoed back verbatim, an
+optional ``client`` quota key and an optional ``deadline_ms`` budget.
+
+Responses are either ``{"id": ..., "ok": true, ...}`` or a *structured
+error* ``{"id": ..., "ok": false, "error": {"code": ..., "message":
+...}}``. The error codes (:data:`ERROR_CODES`) are the daemon's overload
+semantics, stable enough for clients to implement per-cause backoff:
+
+- ``overloaded`` — the bounded admission queue is full (shed load; retry
+  with backoff);
+- ``quota_exhausted`` — the per-client token bucket is empty (slow
+  down);
+- ``deadline_expired`` — the request's deadline passed while it was
+  queued (the answer would have been useless; it was not computed);
+- ``draining`` — the server received SIGTERM and only finishes work it
+  already accepted (reconnect elsewhere);
+- ``bad_request`` — unparseable or malformed request;
+- ``internal`` — the engine failed; the request may be retried.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import RequestRejectedError
+
+__all__ = [
+    "ERROR_CODES",
+    "MAX_LINE_BYTES",
+    "encode_line",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "result_of",
+]
+
+#: Structured error codes the daemon can answer with.
+ERROR_CODES = (
+    "overloaded",
+    "quota_exhausted",
+    "deadline_expired",
+    "draining",
+    "bad_request",
+    "internal",
+)
+
+#: Upper bound on one protocol line (requests above it are rejected
+#: with ``bad_request`` instead of buffering unboundedly).
+MAX_LINE_BYTES = 8 * 1024 * 1024
+
+
+def encode_line(obj: dict) -> bytes:
+    """Serialize one protocol message to a newline-terminated JSON line."""
+    return json.dumps(obj, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one protocol line; raises
+    :class:`~repro.errors.RequestRejectedError` (``bad_request``) when it
+    is not a JSON object."""
+    try:
+        obj = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise RequestRejectedError(
+            f"unparseable request line: {exc}", code="bad_request"
+        ) from exc
+    if not isinstance(obj, dict):
+        raise RequestRejectedError(
+            "request must be a JSON object", code="bad_request"
+        )
+    return obj
+
+
+def ok_response(request_id: Any, **fields: Any) -> dict:
+    """Build a success response echoing the request ``id``."""
+    return {"id": request_id, "ok": True, **fields}
+
+
+def error_response(request_id: Any, code: str, message: str) -> dict:
+    """Build a structured error response (``code`` from
+    :data:`ERROR_CODES`)."""
+    if code not in ERROR_CODES:
+        raise ValueError(f"unknown error code {code!r}")
+    return {"id": request_id, "ok": False, "error": {"code": code, "message": message}}
+
+
+def result_of(response: dict) -> dict:
+    """Return *response* when it is a success; raise the structured error
+    as :class:`~repro.errors.RequestRejectedError` otherwise (the client
+    helper all accessors funnel through)."""
+    if response.get("ok"):
+        return response
+    err = response.get("error") or {}
+    raise RequestRejectedError(
+        str(err.get("message", "request rejected")),
+        code=str(err.get("code", "internal")),
+        request_id=response.get("id"),
+    )

@@ -1,0 +1,120 @@
+"""Per-client token-bucket admission quotas.
+
+The daemon meters *scoring* requests per client (quota key = the
+request's ``client`` field, falling back to the connection's peer
+address): each client owns a :class:`TokenBucket` of ``burst`` capacity
+refilled at ``rate`` tokens/second. An empty bucket means the request is
+answered immediately with the structured ``quota_exhausted`` error — a
+misbehaving client cannot crowd the admission queue and starve the
+others, which is the point of metering *before* the queue.
+
+Buckets are created lazily and evicted once idle long enough to be full
+again, so the table stays bounded under client churn.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+__all__ = ["TokenBucket", "QuotaTable"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity, ``rate`` tokens/second.
+
+    ``rate <= 0`` disables metering (every acquire succeeds). The clock
+    is injectable for deterministic tests. Thread-safe.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if burst <= 0:
+            raise ValueError("burst must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self, now: float) -> None:
+        if self.rate > 0 and now > self._last:
+            self._tokens = min(self.burst, self._tokens + (now - self._last) * self.rate)
+        self._last = now
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Take *n* tokens if available; ``False`` means over quota."""
+        if self.rate <= 0:
+            return True
+        with self._lock:
+            self._refill(self._clock())
+            if self._tokens >= n:
+                self._tokens -= n
+                return True
+            return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (after refilling to now)."""
+        with self._lock:
+            self._refill(self._clock())
+            return self._tokens
+
+
+class QuotaTable:
+    """Lazily-created buckets keyed by client id, with idle eviction.
+
+    ``rate <= 0`` disables quotas entirely (:meth:`admit` always
+    ``True`` and no buckets are kept).
+    """
+
+    def __init__(
+        self,
+        rate: float = 0.0,
+        burst: float = 16.0,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Whether quotas are metered at all."""
+        return self.rate > 0
+
+    def admit(self, client: str, n: float = 1.0) -> bool:
+        """Meter *n* tokens against *client*'s bucket."""
+        if not self.enabled:
+            return True
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, clock=self._clock
+                )
+        return bucket.try_acquire(n)
+
+    def evict_idle(self) -> int:
+        """Drop buckets that have refilled to capacity (idle clients);
+        returns how many were evicted. Cheap enough to run per flush."""
+        if not self.enabled:
+            return 0
+        with self._lock:
+            idle = [k for k, b in self._buckets.items() if b.tokens >= b.burst]
+            for k in idle:
+                del self._buckets[k]
+            return len(idle)
+
+    def __len__(self) -> int:
+        return len(self._buckets)

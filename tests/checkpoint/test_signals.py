@@ -1,0 +1,117 @@
+"""Signal-handler hardening: once-only cleanups, chaining, exit opt-out."""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+
+from repro.checkpoint.signals import cleanup_on_signals
+
+
+def _current_handler(sig=signal.SIGTERM):
+    return signal.getsignal(sig)
+
+
+class TestOnceOnly:
+    def test_cleanups_run_once_on_normal_exit(self):
+        calls = []
+        with cleanup_on_signals(lambda: calls.append("a"), lambda: calls.append("b")):
+            pass
+        assert calls == ["a", "b"]
+
+    def test_double_signal_does_not_rerun_cleanups(self):
+        calls = []
+        with cleanup_on_signals(lambda: calls.append(1), exit_on_signal=False):
+            handler = _current_handler()
+            handler(signal.SIGTERM, None)
+            handler(signal.SIGTERM, None)  # double SIGTERM
+            assert calls == [1]
+        assert calls == [1]  # block exit does not re-run them either
+
+    def test_signal_then_normal_exit_runs_once(self):
+        calls = []
+        with cleanup_on_signals(lambda: calls.append(1), exit_on_signal=False):
+            _current_handler()(signal.SIGTERM, None)
+        assert calls == [1]
+
+    def test_failing_cleanup_does_not_block_the_rest(self):
+        calls = []
+
+        def bad():
+            raise RuntimeError("boom")
+
+        with cleanup_on_signals(bad, lambda: calls.append("ok")):
+            pass
+        assert calls == ["ok"]
+
+
+class TestExitBehavior:
+    def test_exits_with_128_plus_signum(self):
+        with cleanup_on_signals(lambda: None):
+            with pytest.raises(SystemExit) as exit_info:
+                _current_handler()(signal.SIGTERM, None)
+            assert exit_info.value.code == 128 + signal.SIGTERM
+
+    def test_exit_opt_out_keeps_process_alive(self):
+        calls = []
+        with cleanup_on_signals(lambda: calls.append(1), exit_on_signal=False):
+            _current_handler()(signal.SIGTERM, None)  # no SystemExit
+            assert calls == [1]
+
+    def test_real_signal_delivery_with_opt_out(self):
+        calls = []
+        with cleanup_on_signals(lambda: calls.append(1), exit_on_signal=False):
+            signal.raise_signal(signal.SIGTERM)
+            assert calls == [1]  # handled; process still alive
+
+
+class TestChaining:
+    def test_previous_handler_is_called(self):
+        outer = []
+        prev = signal.signal(signal.SIGTERM, lambda s, f: outer.append(s))
+        try:
+            calls = []
+            with cleanup_on_signals(lambda: calls.append(1), exit_on_signal=False):
+                _current_handler()(signal.SIGTERM, None)
+            assert calls == [1]
+            assert outer == [signal.SIGTERM]  # chained, not clobbered
+        finally:
+            signal.signal(signal.SIGTERM, prev)
+
+    def test_chain_opt_out(self):
+        outer = []
+        prev = signal.signal(signal.SIGTERM, lambda s, f: outer.append(s))
+        try:
+            with cleanup_on_signals(lambda: None, chain=False, exit_on_signal=False):
+                _current_handler()(signal.SIGTERM, None)
+            assert outer == []
+        finally:
+            signal.signal(signal.SIGTERM, prev)
+
+    def test_stock_sigint_handler_is_not_chained(self):
+        # chaining default_int_handler would turn the 128+SIGINT exit
+        # into a KeyboardInterrupt traceback
+        prev = signal.signal(signal.SIGINT, signal.default_int_handler)
+        try:
+            with cleanup_on_signals(lambda: None):
+                with pytest.raises(SystemExit) as exit_info:
+                    signal.getsignal(signal.SIGINT)(signal.SIGINT, None)
+                assert exit_info.value.code == 128 + signal.SIGINT
+        finally:
+            signal.signal(signal.SIGINT, prev)
+
+    def test_nested_blocks_chain_inner_to_outer(self):
+        order = []
+        with cleanup_on_signals(lambda: order.append("outer"), exit_on_signal=False):
+            with cleanup_on_signals(lambda: order.append("inner"), exit_on_signal=False):
+                _current_handler()(signal.SIGTERM, None)
+        assert order == ["inner", "outer"]
+
+
+class TestRestoration:
+    def test_handlers_restored_after_block(self):
+        before = _current_handler()
+        with cleanup_on_signals(lambda: None):
+            assert _current_handler() is not before
+        assert _current_handler() is before

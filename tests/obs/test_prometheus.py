@@ -1,0 +1,110 @@
+"""Prometheus text-exposition export of the metrics registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.export import to_prometheus
+from repro.obs.metrics import Counter, Gauge, Histogram, Metrics, _register_catalog
+
+
+def _render(metric) -> str:
+    return to_prometheus({metric.name: metric.snapshot()})
+
+
+class TestCounters:
+    def test_total_suffix_help_and_type(self):
+        c = Counter("serve.admitted", unit="requests", description="Admitted requests.")
+        c.inc(3)
+        text = _render(c)
+        assert "# HELP repro_serve_admitted_total Admitted requests. (unit: requests)" in text
+        assert "# TYPE repro_serve_admitted_total counter" in text
+        assert "\nrepro_serve_admitted_total 3\n" in text
+
+    def test_dots_and_dashes_become_underscores(self):
+        c = Counter("a.b-c.d")
+        assert "repro_a_b_c_d_total 0" in _render(c)
+
+    def test_prefix_override(self):
+        c = Counter("x")
+        assert to_prometheus({"x": c.snapshot()}, prefix="app").startswith("# HELP app_x_total")
+        assert to_prometheus({"x": c.snapshot()}, prefix="").splitlines()[-1] == "x_total 0"
+
+
+class TestGauges:
+    def test_plain_value(self):
+        g = Gauge("serve.queue_depth", unit="requests")
+        g.set(7)
+        text = _render(g)
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert text.rstrip().endswith("repro_serve_queue_depth 7")
+
+    def test_float_values_keep_precision(self):
+        g = Gauge("ratio")
+        g.set(0.5)
+        assert "repro_ratio 0.5" in _render(g)
+
+
+class TestHistograms:
+    def test_cumulative_power_of_two_buckets(self):
+        h = Histogram("serve.batch_occupancy", unit="requests")
+        for v in (1, 1, 3, 5, 20):  # buckets 0, 0, 1, 2, 4
+            h.observe(v)
+        text = _render(h)
+        name = "repro_serve_batch_occupancy"
+        assert f"# TYPE {name} histogram" in text
+        # bucket k covers [2^k, 2^(k+1)) -> cumulative le bound 2^(k+1)
+        assert f'{name}_bucket{{le="2"}} 2' in text
+        assert f'{name}_bucket{{le="4"}} 3' in text
+        assert f'{name}_bucket{{le="8"}} 4' in text
+        assert f'{name}_bucket{{le="32"}} 5' in text
+        assert f'{name}_bucket{{le="+Inf"}} 5' in text
+        assert f"{name}_sum 30" in text
+        assert f"{name}_count 5" in text
+
+    def test_empty_histogram_still_well_formed(self):
+        h = Histogram("empty")
+        text = _render(h)
+        assert 'repro_empty_bucket{le="+Inf"} 0' in text
+        assert "repro_empty_sum 0" in text
+        assert "repro_empty_count 0" in text
+
+
+class TestWholeRegistry:
+    def test_catalog_snapshot_renders_and_parses(self):
+        m = Metrics()
+        _register_catalog(m)
+        m.inc("serve.admitted", 2)
+        m.gauge("serve.queue_depth").set(1)
+        m.histogram("serve.batch_occupancy").observe(4)
+        text = to_prometheus(m.snapshot())
+        assert text.endswith("\n")
+        for line in text.splitlines():
+            if line.startswith("#"):
+                kind = line.split()
+                assert kind[1] in ("HELP", "TYPE")
+                continue
+            name, value = line.rsplit(" ", 1)
+            float(value)  # every sample value parses
+            assert name.startswith("repro_")
+        # the pre-registered serve metrics all surface
+        for expected in (
+            "repro_serve_admitted_total 2",
+            "repro_serve_shed_total 0",
+            "repro_serve_queue_depth 1",
+            "repro_serve_batch_occupancy_count 1",
+        ):
+            assert expected in text
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            to_prometheus({"x": {"kind": "summary", "value": 1}})
+
+    def test_non_dict_entry_rejected(self):
+        with pytest.raises(ValueError):
+            to_prometheus({"x": 3})
+
+    def test_newlines_in_help_escaped(self):
+        c = Counter("x", description="line one\nline two")
+        text = _render(c)
+        assert "# HELP repro_x_total line one\\nline two" in text

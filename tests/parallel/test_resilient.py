@@ -295,6 +295,56 @@ class TestAcceptanceScenarios:
         assert np.array_equal(got2, want)
 
 
+class TestCloseIdempotence:
+    class _CountingClose(Machine):
+        workers = 1
+
+        def __init__(self):
+            self.closes = 0
+            self.rebuilds = 0
+
+        def run_round_spec(self, tasks):
+            return [fn(*a, **kw) for fn, a, kw in tasks]
+
+        def close(self):
+            self.closes += 1
+
+        def rebuild(self):
+            self.rebuilds += 1
+
+    def test_double_close_tears_down_once(self):
+        """A signal handler's close racing a finally block's must not
+        double-free the backend (double-SIGTERM delivery)."""
+        inner = self._CountingClose()
+        m = ResilientMachine(inner, FaultPolicy(**FAST), **NO_SLEEP)
+        m.close()
+        m.close()
+        assert inner.closes == 1
+
+    def test_concurrent_close_from_threads(self):
+        import threading
+
+        inner = self._CountingClose()
+        m = ResilientMachine(inner, FaultPolicy(**FAST), **NO_SLEEP)
+        threads = [threading.Thread(target=m.close) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert inner.closes == 1
+
+    def test_rebuild_revives_a_closed_machine(self):
+        """Mid-round pool rebuild after a close must let the eventual
+        close tear the fresh pool down (no leak)."""
+        inner = self._CountingClose()
+        m = ResilientMachine(inner, FaultPolicy(**FAST), **NO_SLEEP)
+        m.close()
+        m.rebuild()
+        assert inner.rebuilds == 1
+        m.close()
+        assert inner.closes == 2
+
+
 class TestProcessBackendRecovery:
     def test_crash_recovery_with_pool_rebuild(self, tmp_path):
         """A worker that dies once is retried on a rebuilt pool."""

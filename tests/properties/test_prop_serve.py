@@ -1,0 +1,82 @@
+"""Property: serving is invisible in results.
+
+However many concurrent clients the daemon's continuous batcher
+coalesces — and whatever chaos faults the engine absorbs along the way —
+every client gets exactly the scores a direct
+:func:`repro.batch.batch_lcs` call would have produced for its pairs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.batch import batch_lcs
+from repro.errors import DegradedExecutionWarning
+from repro.parallel import FaultPolicy
+from repro.serve import Engine, LcsServer, ServerConfig
+from repro.serve.protocol import decode_line, encode_line
+
+alphabet = st.sampled_from("abc")
+strings = st.text(alphabet, max_size=16)
+pair = st.tuples(strings, strings)
+# each client sends one request: a single pair ("lcs") or a list ("batch")
+client_loads = st.lists(st.lists(pair, min_size=1, max_size=4), min_size=1, max_size=6)
+
+
+async def _one_client(port: int, pairs: list, use_single: bool) -> list[int]:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        if use_single:
+            writer.write(encode_line({"type": "lcs", "a": pairs[0][0], "b": pairs[0][1]}))
+        else:
+            writer.write(encode_line({"type": "batch", "pairs": [list(p) for p in pairs]}))
+        await writer.drain()
+        resp = decode_line(await asyncio.wait_for(reader.readline(), 60))
+    finally:
+        writer.close()
+    assert resp["ok"], resp
+    return [resp["score"]] if use_single else resp["scores"]
+
+
+def _serve_all(loads: list, engine: Engine) -> list[list[int]]:
+    async def main():
+        server = LcsServer(engine, ServerConfig(port=0, max_wait_ms=20.0))
+        await server.start()
+        try:
+            return await asyncio.gather(
+                *[
+                    _one_client(server.port, pairs, use_single=len(pairs) == 1)
+                    for pairs in loads
+                ]
+            )
+        finally:
+            await asyncio.wait_for(server.aclose(), timeout=120)
+
+    return asyncio.run(main())
+
+
+@given(client_loads)
+@settings(max_examples=15, deadline=None)
+def test_interleaved_clients_match_direct_batch(loads):
+    got = _serve_all(loads, Engine(backend="none"))
+    for pairs, scores in zip(loads, got):
+        assert scores == list(batch_lcs(pairs))
+
+
+@given(client_loads, st.integers(0, 2**16), st.sampled_from([0.1, 0.3]))
+@settings(max_examples=10, deadline=None)
+def test_chaos_faults_invisible_to_clients(loads, seed, fail_rate):
+    engine = Engine(
+        backend="serial",
+        policy=FaultPolicy(max_retries=3, backoff_base=0.0, jitter=0.0),
+        chaos={"fail_rate": fail_rate, "seed": seed},
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedExecutionWarning)
+        got = _serve_all(loads, engine)
+    for pairs, scores in zip(loads, got):
+        assert scores == list(batch_lcs(pairs))

@@ -1,0 +1,417 @@
+"""The daemon's robustness envelope: batching, backpressure, quotas,
+deadlines, graceful drain, structured errors, SIGTERM (subprocess)."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.batch import batch_lcs
+from repro.errors import RequestRejectedError
+from repro.serve import Engine, LcsServer, ServeClient, ServerConfig
+from repro.serve.protocol import decode_line, encode_line
+
+PAIRS = [("abacus", "cabbage"), ("banana", "ananas"), ("", "xyz"), ("same", "same")]
+
+
+# -- harness ------------------------------------------------------------
+
+
+class _GatedEngine(Engine):
+    """An engine whose flushes block until the test opens the gate."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.gate = threading.Event()
+
+    def scores(self, pairs):
+        assert self.gate.wait(timeout=30), "test forgot to open the gate"
+        return super().scores(pairs)
+
+
+async def _start(config: ServerConfig, engine: Engine | None = None) -> LcsServer:
+    server = LcsServer(engine or Engine(backend="none"), config)
+    await server.start()
+    return server
+
+
+async def _request(port: int, obj: dict, timeout: float = 30.0) -> dict:
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(encode_line(obj))
+        await writer.drain()
+        line = await asyncio.wait_for(reader.readline(), timeout)
+    finally:
+        writer.close()
+    return decode_line(line)
+
+
+@contextlib.contextmanager
+def running_server(config: ServerConfig, engine: Engine | None = None):
+    """Run a server on a background event-loop thread; yields it for use
+    with the synchronous :class:`ServeClient`."""
+    box: dict = {}
+    started = threading.Event()
+
+    def runner():
+        async def main():
+            server = await _start(config, engine)
+            box["server"], box["loop"] = server, asyncio.get_running_loop()
+            started.set()
+            await server.serve_forever()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=runner, daemon=True)
+    thread.start()
+    assert started.wait(timeout=30)
+    try:
+        yield box["server"]
+    finally:
+        box["loop"].call_soon_threadsafe(box["server"].request_drain)
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "server failed to drain"
+
+
+# -- round trips and continuous batching --------------------------------
+
+
+class TestRoundTrips:
+    def test_lcs_and_batch(self):
+        async def main():
+            server = await _start(ServerConfig(port=0, max_wait_ms=5.0))
+            try:
+                one = await _request(
+                    server.port, {"id": "a", "type": "lcs", "a": "abacus", "b": "cabbage"}
+                )
+                many = await _request(
+                    server.port, {"id": "b", "type": "batch", "pairs": [list(p) for p in PAIRS]}
+                )
+            finally:
+                await server.aclose()
+            return one, many
+
+        one, many = asyncio.run(main())
+        assert one == {"id": "a", "ok": True, "score": 3}
+        assert many["ok"] and many["scores"] == list(batch_lcs(PAIRS))
+
+    def test_concurrent_requests_coalesce(self):
+        async def main():
+            server = await _start(ServerConfig(port=0, max_wait_ms=150.0))
+            try:
+                responses = await asyncio.gather(
+                    *[
+                        _request(server.port, {"id": i, "type": "lcs", "a": a, "b": b})
+                        for i, (a, b) in enumerate(PAIRS * 2)
+                    ]
+                )
+            finally:
+                await server.aclose()
+            return responses, server
+
+        responses, server = asyncio.run(main())
+        want = list(batch_lcs(PAIRS * 2))
+        assert [r["score"] for r in sorted(responses, key=lambda r: r["id"])] == want
+        assert server.max_occupancy > 1  # continuous batching actually batched
+        assert server.batches < len(responses)
+
+    def test_health_and_metrics_request_types(self):
+        async def main():
+            server = await _start(ServerConfig(port=0))
+            try:
+                await _request(server.port, {"type": "lcs", "a": "ab", "b": "ba"})
+                health = await _request(server.port, {"type": "health"})
+                metrics = await _request(server.port, {"type": "metrics"})
+            finally:
+                await server.aclose()
+            return health, metrics
+
+        health, metrics = asyncio.run(main())
+        assert health["ok"] and health["status"] == "serving"
+        assert health["engine"]["state"] == "running"
+        assert health["server"]["admitted"] == 1
+        assert metrics["content_type"].startswith("text/plain")
+        assert "repro_serve_admitted_total" in metrics["text"]
+
+
+class TestBadRequests:
+    @pytest.mark.parametrize(
+        "raw,code",
+        [
+            (b"not json\n", "bad_request"),
+            (b'["a", "list"]\n', "bad_request"),
+            (json.dumps({"type": "nope"}).encode() + b"\n", "bad_request"),
+            (json.dumps({"type": "lcs", "a": "x"}).encode() + b"\n", "bad_request"),
+            (json.dumps({"type": "batch", "pairs": [["a"]]}).encode() + b"\n", "bad_request"),
+            (
+                json.dumps({"type": "lcs", "a": "x", "b": "y", "deadline_ms": "soon"}).encode()
+                + b"\n",
+                "bad_request",
+            ),
+        ],
+    )
+    def test_structured_errors(self, raw, code):
+        async def main():
+            server = await _start(ServerConfig(port=0))
+            try:
+                reader, writer = await asyncio.open_connection("127.0.0.1", server.port)
+                writer.write(raw)
+                await writer.drain()
+                line = await asyncio.wait_for(reader.readline(), 30)
+                writer.close()
+            finally:
+                await server.aclose()
+            return decode_line(line)
+
+        resp = asyncio.run(main())
+        assert resp["ok"] is False and resp["error"]["code"] == code
+
+
+# -- the robustness envelope --------------------------------------------
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_structured_error(self):
+        engine = _GatedEngine(backend="none")
+        config = ServerConfig(port=0, max_wait_ms=5.0, queue_cap=1, inflight_flushes=1)
+
+        async def main():
+            server = await _start(config, engine)
+            try:
+                tasks = []
+                # a: dispatched into the gated flush; b: held by the
+                # batcher awaiting the flush slot; c: fills the queue
+                for rid in ("a", "b", "c"):
+                    tasks.append(
+                        asyncio.create_task(
+                            _request(server.port, {"id": rid, "type": "lcs", "a": "ab", "b": "ba"})
+                        )
+                    )
+                    await asyncio.sleep(0.1)
+                shed = await _request(
+                    server.port, {"id": "d", "type": "lcs", "a": "ab", "b": "ba"}
+                )
+                engine.gate.set()
+                served = await asyncio.gather(*tasks)
+            finally:
+                engine.gate.set()
+                await server.aclose()
+            return shed, served, server
+
+        shed, served, server = asyncio.run(main())
+        assert shed["ok"] is False and shed["error"]["code"] == "overloaded"
+        assert all(r["ok"] and r["score"] == 1 for r in served)  # shed lost, rest not
+        assert server.shed == 1 and server.admitted == 3 == server.completed
+
+
+class TestQuotas:
+    def test_token_bucket_per_client(self):
+        config = ServerConfig(port=0, quota_rate=1e-9, quota_burst=2.0)
+
+        async def main():
+            server = await _start(config)
+            try:
+                req = {"type": "lcs", "a": "ab", "b": "ba", "client": "greedy"}
+                first = await _request(server.port, {"id": 1, **req})
+                second = await _request(server.port, {"id": 2, **req})
+                third = await _request(server.port, {"id": 3, **req})
+                other = await _request(
+                    server.port, {"id": 4, "type": "lcs", "a": "ab", "b": "ba", "client": "other"}
+                )
+            finally:
+                await server.aclose()
+            return first, second, third, other, server
+
+        first, second, third, other, server = asyncio.run(main())
+        assert first["ok"] and second["ok"]
+        assert third["ok"] is False and third["error"]["code"] == "quota_exhausted"
+        assert other["ok"]  # quotas are per client, not global
+        assert server.quota_rejected == 1
+
+    def test_batch_requests_cost_their_pair_count(self):
+        config = ServerConfig(port=0, quota_rate=1e-9, quota_burst=3.0)
+
+        async def main():
+            server = await _start(config)
+            try:
+                big = await _request(
+                    server.port,
+                    {
+                        "id": 1,
+                        "type": "batch",
+                        "client": "c",
+                        "pairs": [["a", "b"]] * 4,  # 4 pairs > 3 tokens
+                    },
+                )
+                fit = await _request(
+                    server.port,
+                    {"id": 2, "type": "batch", "client": "c", "pairs": [["a", "b"]] * 3},
+                )
+            finally:
+                await server.aclose()
+            return big, fit
+
+        big, fit = asyncio.run(main())
+        assert big["ok"] is False and big["error"]["code"] == "quota_exhausted"
+        assert fit["ok"]
+
+
+class TestDeadlines:
+    def test_expired_in_queue_skips_compute(self):
+        engine = _GatedEngine(backend="none")
+        config = ServerConfig(port=0, max_wait_ms=5.0, inflight_flushes=1)
+
+        async def main():
+            server = await _start(config, engine)
+            try:
+                blocker = asyncio.create_task(
+                    _request(server.port, {"id": "x", "type": "lcs", "a": "ab", "b": "ba"})
+                )
+                await asyncio.sleep(0.1)  # let it occupy the gated flush
+                doomed = asyncio.create_task(
+                    _request(
+                        server.port,
+                        {"id": "y", "type": "lcs", "a": "ab", "b": "ba", "deadline_ms": 20},
+                    )
+                )
+                await asyncio.sleep(0.2)  # deadline passes while queued
+                engine.gate.set()
+                return await blocker, await doomed, server
+            finally:
+                engine.gate.set()
+                await server.aclose()
+
+        blocked, doomed, server = asyncio.run(main())
+        assert blocked["ok"]
+        assert doomed["ok"] is False and doomed["error"]["code"] == "deadline_expired"
+        assert server.deadline_expired == 1
+
+    def test_default_deadline_applies(self):
+        engine = _GatedEngine(backend="none")
+        config = ServerConfig(
+            port=0, max_wait_ms=5.0, inflight_flushes=1, default_deadline_ms=20.0
+        )
+
+        async def main():
+            server = await _start(config, engine)
+            try:
+                blocker = asyncio.create_task(
+                    _request(server.port, {"id": "x", "type": "lcs", "a": "ab", "b": "ba"})
+                )
+                await asyncio.sleep(0.1)  # its flush holds the only slot
+                doomed = asyncio.create_task(
+                    _request(server.port, {"id": "y", "type": "lcs", "a": "ab", "b": "ba"})
+                )
+                await asyncio.sleep(0.2)  # default deadline passes while queued
+                engine.gate.set()
+                return await blocker, await doomed
+            finally:
+                engine.gate.set()
+                await server.aclose()
+
+        blocked, doomed = asyncio.run(main())
+        # the first flush started within its deadline; the request stuck
+        # behind it picked up the default deadline and outlived it
+        assert blocked["ok"]
+        assert doomed["ok"] is False and doomed["error"]["code"] == "deadline_expired"
+
+
+class TestGracefulDrain:
+    def test_zero_dropped_accepted_requests(self):
+        engine = _GatedEngine(backend="none")
+        config = ServerConfig(port=0, max_wait_ms=50.0)
+
+        async def main():
+            server = await _start(config, engine)
+            inflight = [
+                asyncio.create_task(
+                    _request(server.port, {"id": i, "type": "lcs", "a": "abacus", "b": "cabbage"})
+                )
+                for i in range(4)
+            ]
+            await asyncio.sleep(0.2)  # all admitted, flush gated
+            server.request_drain()
+            server.request_drain()  # idempotent (double SIGTERM)
+            refused = await _request(
+                server.port, {"id": "late", "type": "lcs", "a": "ab", "b": "ba"}
+            )
+            engine.gate.set()
+            responses = await asyncio.gather(*inflight)
+            await asyncio.wait_for(server.serve_forever(), timeout=30)
+            return refused, responses, server
+
+        refused, responses, server = asyncio.run(main())
+        assert refused["ok"] is False and refused["error"]["code"] == "draining"
+        assert all(r["ok"] and r["score"] == 3 for r in responses)
+        assert server.admitted == 4 == server.completed  # the zero-drop invariant
+        assert server.drained == 4
+        assert engine.state == "closed"
+
+    def test_drain_with_empty_queue_exits_promptly(self):
+        async def main():
+            server = await _start(ServerConfig(port=0))
+            await _request(server.port, {"type": "lcs", "a": "ab", "b": "ba"})
+            started = time.monotonic()
+            await asyncio.wait_for(server.aclose(), timeout=30)
+            return time.monotonic() - started, server
+
+        elapsed, server = asyncio.run(main())
+        assert elapsed < 10
+        assert server.admitted == server.completed == 1
+
+
+class TestSyncClient:
+    def test_client_round_trip_and_errors(self):
+        config = ServerConfig(port=0, quota_rate=1e-9, quota_burst=1.0)
+        with running_server(config) as server:
+            with ServeClient("127.0.0.1", server.port, client_id="c1") as client:
+                assert client.lcs("abacus", "cabbage") == 3
+                with pytest.raises(RequestRejectedError) as err:
+                    client.lcs("ab", "ba")  # second request breaks the quota
+                assert err.value.code == "quota_exhausted"
+            with ServeClient("127.0.0.1", server.port, client_id="c2") as client:
+                # one pair costs one token, so c2's single-pair batch fits
+                assert client.batch(PAIRS[:1]) == list(batch_lcs(PAIRS[:1]))
+                assert client.health()["status"] == "serving"
+                assert "repro_serve_requests_total" in client.metrics()
+
+
+class TestSigtermSubprocess:
+    def test_daemon_drains_on_sigterm_and_exits_zero(self, tmp_path):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", "--port", "0", "--max-wait-ms", "20"],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline().strip()
+            assert banner.startswith("serving on ")
+            port = int(banner.rsplit(":", 1)[1])
+            with socket.create_connection(("127.0.0.1", port), timeout=30) as sock:
+                sock.sendall(b'{"id": 1, "type": "lcs", "a": "abacus", "b": "cabbage"}\n')
+                reply = json.loads(sock.makefile("rb").readline())
+            assert reply == {"id": 1, "ok": True, "score": 3}
+            proc.send_signal(signal.SIGTERM)
+            _, err = proc.communicate(timeout=120)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+        assert proc.returncode == 0  # admitted == completed: nothing dropped
+        assert "drain complete" in err
+        assert "admitted=1, completed=1" in err
