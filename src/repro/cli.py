@@ -125,7 +125,7 @@ def _cmd_semilocal(args) -> int:
 def _cmd_bit(args) -> int:
     from .core.bitparallel import bit_lcs
 
-    print(bit_lcs(args.a, args.b, variant=args.variant))
+    print(bit_lcs(args.a, args.b, variant=args.variant, multi_diag=args.multi_diag))
     return 0
 
 
@@ -236,15 +236,23 @@ def _cmd_parallel(args) -> int:
         # SIGINT/SIGTERM must not leave named /dev/shm segments behind
         with cleanup_on_signals(release_all_arenas):
             ca, cb = encode(args.a), encode(args.b)
+            grid_kwargs = {
+                "vectorize": not args.no_vectorize,
+                "fuse_rounds": not args.no_fuse_rounds,
+                "fuse_budget": args.fuse_budget,
+                "pipeline": not args.no_pipeline,
+            }
             if args.algorithm == "hybrid":
                 if ckpt is not None:
                     from .checkpoint import flush_on_signals
 
                     with flush_on_signals(ckpt):
-                        perm = parallel_hybrid_combing_grid(ca, cb, machine, checkpoint=ckpt)
+                        perm = parallel_hybrid_combing_grid(
+                            ca, cb, machine, checkpoint=ckpt, **grid_kwargs
+                        )
                     _print_checkpoint_stats(store)
                 else:
-                    perm = parallel_hybrid_combing_grid(ca, cb, machine)
+                    perm = parallel_hybrid_combing_grid(ca, cb, machine, **grid_kwargs)
             elif args.algorithm == "combing":
                 perm = parallel_iterative_combing(ca, cb, machine)
             elif args.algorithm == "load-balanced":
@@ -656,6 +664,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("a")
     p.add_argument("b")
     p.add_argument("--variant", default="new2", choices=["old", "new1", "new2"])
+    p.add_argument(
+        "--multi-diag",
+        action="store_true",
+        help=(
+            "use the multi-diagonal column sweep (several anti-diagonals "
+            "per batched word op; strongest on long strings)"
+        ),
+    )
     _add_obs_args(p)
     p.set_defaults(fn=_cmd_bit)
 
@@ -772,6 +788,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulate a process death after N completed tasks (testing)",
     )
     p.add_argument("--seed", type=int, default=0, help="seed for chaos + backoff jitter")
+    g = p.add_argument_group("compute toggles (hybrid grid)")
+    g.add_argument(
+        "--no-vectorize",
+        action="store_true",
+        help="use the scalar steady ant for braid multiplications",
+    )
+    g.add_argument(
+        "--no-fuse-rounds",
+        action="store_true",
+        help="submit one round per reduction level (the PR 7 schedule)",
+    )
+    g.add_argument(
+        "--fuse-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="fused-task external payload budget (default: 1 MiB)",
+    )
+    g.add_argument(
+        "--no-pipeline",
+        action="store_true",
+        help="drain every submitted round before packing the next",
+    )
     p.add_argument(
         "--checkpoint-dir",
         metavar="DIR",

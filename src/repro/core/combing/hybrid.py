@@ -118,6 +118,187 @@ def _split_lengths(total: int, parts: int) -> list[int]:
     return [base + (1 if k < extra else 0) for k in range(parts)]
 
 
+# ---------------------------------------------------------------------------
+# Explicit reduction plans (fused rounds + pipelined execution build on these)
+# ---------------------------------------------------------------------------
+
+#: One reduction node: ``kind`` is ``"h"`` (compose_horizontal) or ``"v"``
+#: (compose_vertical), ``out``/``left``/``right`` are plan node ids
+#: (leaves are ``i * n_outer + j`` row-major), and ``d0/d1/d2`` are the
+#: compose dimensions (``rows, n_left, n_right`` for "h";
+#: ``m_top, m_bottom, cols`` for "v").
+class GridOp:
+    __slots__ = ("kind", "out", "left", "right", "d0", "d1", "d2")
+
+    def __init__(self, kind, out, left, right, d0, d1, d2):
+        self.kind = kind
+        self.out = out
+        self.left = left
+        self.right = right
+        self.d0 = d0
+        self.d1 = d1
+        self.d2 = d2
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return (f"GridOp({self.kind!r}, out={self.out}, "
+                f"left={self.left}, right={self.right})")
+
+
+def plan_grid_reduction(m: int, n: int, a_lens, b_lens):
+    """Flatten Listing 7's longest-side reduction into explicit levels.
+
+    Returns ``(levels, spans, root)``: ``levels`` is a list of lists of
+    :class:`GridOp` (one list per reduction level, ops in the exact order
+    the level-synchronous implementation submits them), ``spans`` maps
+    every plan node id to its covered slice bounds
+    ``(a_lo, a_hi, b_lo, b_hi)`` (content-addressed checkpoint keys and
+    fusion payload estimates both derive from these), and ``root`` is the
+    final node's id. Leaf ids are ``i * n_outer + j`` row-major; the
+    caller runs the leaves itself.
+
+    The plan is *semantics-free scheduling data*: executing its ops in
+    any dependency-respecting order produces the identical kernel,
+    because kernel composition is associative along the chosen reduction
+    tree — which is what lets the executor fuse levels and pipeline
+    rounds without touching correctness.
+    """
+    a_lens = list(a_lens)
+    b_lens = list(b_lens)
+    m_outer, n_outer = len(a_lens), len(b_lens)
+    a_bounds = []
+    lo = 0
+    for ln in a_lens:
+        a_bounds.append((lo, lo + ln))
+        lo += ln
+    b_bounds = []
+    lo = 0
+    for ln in b_lens:
+        b_bounds.append((lo, lo + ln))
+        lo += ln
+    ids = [[i * n_outer + j for j in range(n_outer)] for i in range(m_outer)]
+    spans = {}
+    for i in range(m_outer):
+        for j in range(n_outer):
+            spans[ids[i][j]] = (*a_bounds[i], *b_bounds[j])
+    next_id = m_outer * n_outer
+    levels = []
+    while m_outer > 1 or n_outer > 1:
+        if n_outer == 1:
+            row_reduction = False
+        elif m_outer == 1:
+            row_reduction = True
+        else:
+            row_reduction = (m / m_outer) >= (n / n_outer)
+        ops = []
+        if row_reduction:
+            new_ids = []
+            for i in range(m_outer):
+                row = []
+                for j in range(0, n_outer - 1, 2):
+                    out = next_id
+                    next_id += 1
+                    ops.append(GridOp("h", out, ids[i][j], ids[i][j + 1],
+                                      a_lens[i], b_lens[j], b_lens[j + 1]))
+                    spans[out] = (*a_bounds[i], b_bounds[j][0], b_bounds[j + 1][1])
+                    row.append(out)
+                if n_outer % 2:
+                    row.append(ids[i][n_outer - 1])
+                new_ids.append(row)
+            ids = new_ids
+            b_lens = [b_lens[j] + b_lens[j + 1] for j in range(0, n_outer - 1, 2)] + (
+                [b_lens[-1]] if n_outer % 2 else [])
+            b_bounds = [(b_bounds[j][0], b_bounds[j + 1][1]) for j in range(0, n_outer - 1, 2)] + (
+                [b_bounds[-1]] if n_outer % 2 else [])
+            n_outer = len(b_lens)
+        else:
+            new_ids = []
+            for i in range(0, m_outer - 1, 2):
+                row = []
+                for j in range(n_outer):
+                    out = next_id
+                    next_id += 1
+                    ops.append(GridOp("v", out, ids[i][j], ids[i + 1][j],
+                                      a_lens[i], a_lens[i + 1], b_lens[j]))
+                    spans[out] = (a_bounds[i][0], a_bounds[i + 1][1], *b_bounds[j])
+                    row.append(out)
+                new_ids.append(row)
+            if m_outer % 2:
+                new_ids.append(ids[m_outer - 1])
+            ids = new_ids
+            a_lens = [a_lens[i] + a_lens[i + 1] for i in range(0, m_outer - 1, 2)] + (
+                [a_lens[-1]] if m_outer % 2 else [])
+            a_bounds = [(a_bounds[i][0], a_bounds[i + 1][1]) for i in range(0, m_outer - 1, 2)] + (
+                [a_bounds[-1]] if m_outer % 2 else [])
+            m_outer = len(a_lens)
+        levels.append(ops)
+    return levels, spans, ids[0][0]
+
+
+#: Default fused-round payload budget (bytes of external input kernels
+#: per fused task). Small deep levels — where per-round machine overhead
+#: dominates — fuse aggressively; large top-of-tree kernels stay one op
+#: per task so the workers keep them parallel.
+DEFAULT_FUSE_BUDGET = 1 << 20
+
+#: Never chain more than this many reduction levels into one task — a
+#: fused task runs its ops sequentially inside one worker, so unbounded
+#: depth would serialize the whole top of the tree.
+MAX_FUSE_LEVELS = 4
+
+
+def _node_payload(node, spans, itemsize):
+    a_lo, a_hi, b_lo, b_hi = spans[node]
+    return ((a_hi - a_lo) + (b_hi - b_lo)) * itemsize
+
+
+def fuse_plan(levels, spans, *, budget=DEFAULT_FUSE_BUDGET,
+              itemsize=8, max_levels=MAX_FUSE_LEVELS):
+    """Group reduction levels into submission rounds.
+
+    Adjacent levels merge into one round when every fused task the merge
+    would create keeps its *external input payload* (the kernels the task
+    must be handed, at *itemsize* bytes per strand) within *budget* and
+    the chain spans at most *max_levels* levels. Returns a list of
+    rounds; each round is a list of tasks and each task a list of
+    :class:`GridOp` in dependency order (length 1 = unfused). Tasks
+    within a round are mutually independent — everything a task consumes
+    was produced in an earlier round (or is a grid leaf).
+
+    ``budget=0`` (or ``max_levels=1``) degenerates to exactly one round
+    per level — the unfused schedule.
+    """
+    rounds = []
+    pending: dict[int, list] = {}
+    pending_depth = 0
+
+    def task_externals(ops):
+        outs = {op.out for op in ops}
+        return [s for op in ops for s in (op.left, op.right) if s not in outs]
+
+    for ops in levels:
+        if pending:
+            fuse = pending_depth < max_levels
+            if fuse:
+                for op in ops:
+                    cand = pending.get(op.left, []) + pending.get(op.right, []) + [op]
+                    payload = sum(_node_payload(s, spans, itemsize)
+                                  for s in task_externals(cand))
+                    if payload > budget:
+                        fuse = False
+                        break
+            if not fuse:
+                rounds.append(list(pending.values()))
+                pending = {}
+                pending_depth = 0
+        for op in ops:
+            task = pending.pop(op.left, []) + pending.pop(op.right, []) + [op]
+            pending[op.out] = task
+        pending_depth += 1
+    if pending:
+        rounds.append(list(pending.values()))
+    return rounds
+
+
 def hybrid_combing_grid(
     a: Sequenceish,
     b: Sequenceish,

@@ -18,6 +18,8 @@ and why the simulator is the default for thread-scaling figures).
 
 from __future__ import annotations
 
+from collections import deque
+
 import numpy as np
 
 from ...alphabet import encode
@@ -25,20 +27,30 @@ from ...obs import get_metrics, get_tracer
 from ...obs import phase as _obs_phase
 from ...parallel.transport import (
     machine_broadcast,
+    machine_drain_round,
     machine_localize,
     machine_release,
+    machine_submit_round,
     run_array_round,
 )
 from ...types import PermArray, Sequenceish
 from ..compose import compose_horizontal, compose_vertical
-from .hybrid import _split_lengths, optimal_split
+from .hybrid import (
+    DEFAULT_FUSE_BUDGET,
+    _split_lengths,
+    fuse_plan,
+    optimal_split,
+    plan_grid_reduction,
+)
 from .iterative import (
     _BLENDS,
     _UNSIGNED_LIMIT_16,
     _antidiag_ranges,
+    _comb_region_simd,
     _extract_kernel,
     _flip_kernel,
     cut_positions,
+    fused_antidiag_groups,
     iterative_combing_antidiag_simd,
 )
 
@@ -93,6 +105,75 @@ def _grid_compose_v(p, q, m_top, m_bottom, cols, multiply, compact):
     return _compact_perm(out, compact)
 
 
+def _grid_run_fused(ops, blend, use_16bit, multiply, compact, *vals_in):
+    """Run one (possibly fused) chain of grid ops inside a worker.
+
+    *vals_in* are the task's external inputs — encoded sequence slices
+    for a leaf, kernels produced by earlier rounds for a compose chain.
+    Each op addresses its two sources by index into the growing value
+    list: externals first, then the outputs of the task's earlier ops,
+    in order. Op kinds: ``"l"`` (leaf comb), ``"h"`` / ``"v"``
+    (horizontal / vertical composition with dims ``d0, d1, d2``).
+
+    Only the final kernel is compacted for the trip home; a fused
+    chain's intermediate kernels never leave the worker — that is the
+    entire point of fusing (no per-level transport, no round barrier).
+    """
+    vals = list(vals_in)
+    for kind, i1, i2, d0, d1, d2 in ops:
+        if kind == "l":
+            out = iterative_combing_antidiag_simd(
+                vals[i1], vals[i2], blend=blend, use_16bit_when_possible=use_16bit
+            )
+        elif kind == "h":
+            out = compose_horizontal(
+                np.asarray(vals[i1], dtype=np.int64),
+                np.asarray(vals[i2], dtype=np.int64),
+                d0, d1, d2, multiply,
+            )
+        else:
+            out = compose_vertical(
+                np.asarray(vals[i1], dtype=np.int64),
+                np.asarray(vals[i2], dtype=np.int64),
+                d0, d1, d2, multiply,
+            )
+        vals.append(out)
+    return _compact_perm(vals[-1], compact)
+
+
+class _FusedThunk:
+    """A fused chain of checkpointable compose steps, run in order inside
+    one round slot (the checkpoint path's counterpart of
+    :func:`_grid_run_fused` — thunks carrying durable state cannot ship
+    to worker processes, so fused rounds stay in-process there).
+
+    Each step is ``(out_node, fn, op)``; step outputs are published to
+    the shared *local* dict that later steps' closures read, so a chain
+    needs no argument threading. ``recover()`` delegates to the final
+    step's durable ledger entry — a
+    :class:`~repro.parallel.resilient.ResilientMachine` recovering a
+    failed round therefore treats a fused task exactly like a plain one
+    (only the chain's final kernel matters to the caller).
+    """
+
+    __slots__ = ("steps", "_local")
+
+    def __init__(self, steps, local):
+        self.steps = steps
+        self._local = local
+
+    def __call__(self):
+        out = None
+        for node, fn, _op in self.steps:
+            out = fn()
+            self._local[node] = out
+        return out
+
+    def recover(self):
+        rec = getattr(self.steps[-1][1], "recover", None)
+        return rec() if rec is not None else None
+
+
 def _chunks(length: int, workers: int) -> list[tuple[int, int]]:
     """Split ``[0, length)`` into up to *workers* contiguous chunks."""
     workers = max(1, min(workers, length))
@@ -129,6 +210,8 @@ def parallel_iterative_combing(
     *,
     blend: str = "where",
     use_16bit: bool = False,
+    fuse_rounds: bool = False,
+    fuse_budget: int | None = None,
 ) -> PermArray:
     """Listing 4: wavefront combing, one synchronized round per
     anti-diagonal.
@@ -138,23 +221,42 @@ def parallel_iterative_combing(
     whose cost the machine divides across its workers); see
     :meth:`repro.parallel.api.Machine.run_uniform_round`.
 
+    ``fuse_rounds`` merges consecutive anti-diagonals into rounds of at
+    most ``fuse_budget`` cells (:func:`~.iterative.fused_antidiag_groups`;
+    default ``4 * m``). A fused group is inherently sequential — its
+    diagonals depend on each other — so this deliberately trades
+    in-round parallelism for fewer barriers; it is off by default
+    because the per-anti-diagonal round structure is what the simulator
+    figures (Fig. 4) model. Result-identical either way (the cells are
+    processed in the same dependency-compatible order).
+
     ``use_16bit`` stores strand labels as ``uint16`` whenever
     ``m + n <= 2^16``; the kernel returned is ``int64`` either way.
     """
     ca, cb = encode(a), encode(b)
     if ca.size > cb.size:
         return _flip_kernel(
-            parallel_iterative_combing(cb, ca, machine, blend=blend, use_16bit=use_16bit),
+            parallel_iterative_combing(
+                cb, ca, machine, blend=blend, use_16bit=use_16bit,
+                fuse_rounds=fuse_rounds, fuse_budget=fuse_budget,
+            ),
             cb.size,
             ca.size,
         )
     m, n = ca.size, cb.size
     if m == 0 or n == 0:
         return np.arange(m + n, dtype=np.int64)
+    if fuse_rounds:
+        groups = list(fused_antidiag_groups(m, n, fuse_budget))
+    else:
+        groups = [[rng] for rng in _antidiag_ranges(m, n)]
     # one top-level span + a single counter bump for the whole wavefront:
-    # the m+n-1 per-anti-diagonal rounds are far too hot to instrument
-    # individually (see repro.obs performance contract)
-    get_metrics().inc("combing.wavefront_rounds", m + n - 1)
+    # the per-round instrumentation would be far too hot (see the
+    # repro.obs performance contract)
+    metrics = get_metrics()
+    metrics.inc("combing.wavefront_rounds", len(groups))
+    if fuse_rounds:
+        metrics.inc("compute.rounds_saved", (m + n - 1) - len(groups))
     with _obs_phase("combing"), get_tracer().span(
         "combing.wavefront", args={"m": m, "n": n}
     ):
@@ -163,11 +265,20 @@ def parallel_iterative_combing(
         dt = _strands_dtype(m, n, use_16bit)
         h_strands = np.arange(m, dtype=dt)
         v_strands = np.arange(m, m + n, dtype=dt)
-        for length, h_lo, v_lo in _antidiag_ranges(m, n):
-            thunk = _make_chunk_thunk(
-                a_rev, cb, h_strands, v_strands, h_lo, v_lo, 0, length, select
-            )
-            machine.run_uniform_round([(thunk, length)])
+        for group in groups:
+            if len(group) == 1:
+                length, h_lo, v_lo = group[0]
+                thunk = _make_chunk_thunk(
+                    a_rev, cb, h_strands, v_strands, h_lo, v_lo, 0, length, select
+                )
+                machine.run_uniform_round([(thunk, length)])
+            else:
+                cells = sum(g[0] for g in group)
+
+                def thunk(group=group):
+                    _comb_region_simd(a_rev, cb, h_strands, v_strands, group, blend)
+
+                machine.run_uniform_round([(thunk, cells)])
         return _extract_kernel(h_strands, v_strands)
 
 
@@ -289,13 +400,40 @@ def parallel_hybrid_combing_grid(
     multiply=None,
     strand_limit: int | None = None,
     checkpoint=None,
+    vectorize: bool = True,
+    fuse_rounds: bool = True,
+    fuse_budget: int | None = None,
+    pipeline: bool = True,
 ) -> PermArray:
     """Listing 7 with explicit parallel rounds.
 
-    Round 0 combs all ``m_outer x n_outer`` sub-blocks; each reduction
-    level of compositions (always along the blocks' longest side) is one
-    further round. ``n_tasks`` defaults to ``2 * machine.workers`` so the
-    dynamic schedule has slack to balance.
+    Round 0 combs all ``m_outer x n_outer`` sub-blocks; the reduction
+    (always along the blocks' longest side) then runs as a dataflow of
+    composition tasks. ``n_tasks`` defaults to ``2 * machine.workers``
+    so the dynamic schedule has slack to balance.
+
+    Compute-gap toggles (all independently switchable, all
+    result-identical — the plan fixes the reduction tree, and kernel
+    composition along a fixed tree is associative):
+
+    - ``vectorize`` — braid multiplications inside compositions use the
+      level-vectorized steady ant
+      (:func:`~repro.core.steady_ant.vectorized.steady_ant_vectorized`)
+      instead of the scalar combined recursion. Ignored when an explicit
+      *multiply* is passed.
+    - ``fuse_rounds`` / ``fuse_budget`` — adjacent reduction levels
+      whose tasks keep their external kernel payload within
+      *fuse_budget* bytes (default
+      :data:`~repro.core.combing.hybrid.DEFAULT_FUSE_BUDGET`) merge into
+      one submitted round (:func:`~repro.core.combing.hybrid.fuse_plan`);
+      the deep, small levels — where the per-round barrier and transport
+      dominate the microseconds of actual compute — collapse into single
+      tasks whose intermediates never leave the worker.
+    - ``pipeline`` — tasks are submitted in worker-sized chunks with two
+      rounds in flight (:func:`~repro.parallel.transport.machine_submit_round`
+      double-buffering), and a composition is submitted as soon as its
+      inputs drain — early composes overlap the remaining leaf combs
+      instead of waiting for the slowest one.
 
     ``checkpoint`` (a :class:`~repro.checkpoint.grid.GridCheckpointer`)
     makes the run durable: each leaf/compose task persists its kernel
@@ -303,21 +441,35 @@ def parallel_hybrid_combing_grid(
     completed nodes from disk, and — because the submitted tasks expose
     ``recover()`` — a :class:`~repro.parallel.resilient.ResilientMachine`
     recovering a failed round re-reads the on-disk ledger instead of
-    recomputing.
+    recomputing. Checkpointed runs stay round-synchronous (durable
+    thunks cannot ship to worker processes, so there is nothing to
+    pipeline) but do honour ``fuse_rounds``: a fused task is a
+    :class:`_FusedThunk` chain of individually-checkpointed steps, and
+    because checkpoint keys are content-addressed a run may crash inside
+    a fused round and resume under different fusion settings.
 
     Observability: wrapped in the ``combing`` phase and a
-    ``combing.grid`` span; when tracing (or remote metric collection) is
-    active on a :class:`~repro.parallel.processes.ProcessMachine`, the
-    worker-side leaf/compose spans and counters ship back with each
+    ``combing.grid`` span; ``compute.fused_tasks`` /
+    ``compute.rounds_saved`` / ``compute.pipelined_rounds`` account what
+    the toggles actually did. When tracing (or remote metric collection)
+    is active on a :class:`~repro.parallel.processes.ProcessMachine`,
+    the worker-side leaf/compose spans and counters ship back with each
     round and re-parent under this call's round spans.
     """
     with _obs_phase("combing"), get_tracer().span(
-        "combing.grid", args={"n_tasks": n_tasks or 0}
+        "combing.grid",
+        args={
+            "n_tasks": n_tasks or 0,
+            "fuse": bool(fuse_rounds),
+            "pipeline": bool(pipeline),
+        },
     ):
         return _parallel_hybrid_grid_impl(
             a, b, machine,
             n_tasks=n_tasks, blend=blend, use_16bit=use_16bit,
             multiply=multiply, strand_limit=strand_limit, checkpoint=checkpoint,
+            vectorize=vectorize, fuse_rounds=fuse_rounds,
+            fuse_budget=fuse_budget, pipeline=pipeline,
         )
 
 
@@ -332,13 +484,20 @@ def _parallel_hybrid_grid_impl(
     multiply=None,
     strand_limit: int | None = None,
     checkpoint=None,
+    vectorize: bool = True,
+    fuse_rounds: bool = True,
+    fuse_budget: int | None = None,
+    pipeline: bool = True,
 ) -> PermArray:
     ca, cb = encode(a), encode(b)
     m, n = ca.size, cb.size
     if m == 0 or n == 0:
         return np.arange(m + n, dtype=np.int64)
     if multiply is None:
-        from ..steady_ant import steady_ant_multiply as multiply
+        if vectorize:
+            from ..steady_ant import steady_ant_vectorized as multiply
+        else:
+            from ..steady_ant import steady_ant_multiply as multiply
     if n_tasks is None:
         n_tasks = max(1, 2 * machine.workers)
 
@@ -346,189 +505,226 @@ def _parallel_hybrid_grid_impl(
     a_lens = _split_lengths(m, m_outer)
     b_lens = _split_lengths(n, n_outer)
     m_outer, n_outer = len(a_lens), len(b_lens)
-    a_offs = np.concatenate([[0], np.cumsum(a_lens)])
-    b_offs = np.concatenate([[0], np.cumsum(b_lens)])
 
     if checkpoint is not None:
         finished = checkpoint.begin(ca, cb, a_lens, b_lens)
         if finished is not None:
             return finished
 
-    get_metrics().inc("combing.grid_leaves", m_outer * n_outer)
-
-    # The non-checkpoint path ships pure (fn, args, kwargs) specs:
-    # process machines run them in workers (the input sequences broadcast
-    # once as shared-memory segments, results travelling back as handles),
-    # in-process machines run the identical partials locally. The
-    # checkpoint path keeps thunks: CheckpointedThunk carries durable
-    # state that cannot ship to a worker process.
-    use_spec = checkpoint is None
+    metrics = get_metrics()
+    metrics.inc("combing.grid_leaves", m_outer * n_outer)
     compact = bool(use_16bit)
 
-    if use_spec:
-        bca, bcb = machine_broadcast(machine, ca, cb)
-        flat = run_array_round(
-            machine,
-            [
-                (
-                    _grid_leaf,
-                    (
-                        bca[a_offs[i] : a_offs[i + 1]],
-                        bcb[b_offs[j] : b_offs[j + 1]],
-                        blend,
-                        use_16bit,
-                        compact,
-                    ),
-                    {},
-                )
-                for i in range(m_outer)
-                for j in range(n_outer)
-            ],
-        )
-        # the encoded inputs are only read by the leaf round
-        machine_release(machine, bca, bcb)
+    # The reduction tree as data: levels of compose ops plus each node's
+    # covered (a, b) slice. Fusing then merges adjacent levels into
+    # rounds within the payload budget (budget 0 = one round per level,
+    # i.e. the PR 7 schedule).
+    levels, spans, root = plan_grid_reduction(m, n, a_lens, b_lens)
+    if fuse_rounds:
+        budget = DEFAULT_FUSE_BUDGET if fuse_budget is None else fuse_budget
     else:
+        budget = 0
+    itemsize = 2 if compact else 8
+    rounds = fuse_plan(levels, spans, budget=budget, itemsize=itemsize)
+    metrics.inc(
+        "compute.fused_tasks", sum(1 for rnd in rounds for task in rnd if len(task) > 1)
+    )
+    metrics.inc("compute.rounds_saved", len(levels) - len(rounds))
 
-        def leaf_thunk(i, j):
-            def thunk():
-                return iterative_combing_antidiag_simd(
-                    ca[a_offs[i] : a_offs[i + 1]],
-                    cb[b_offs[j] : b_offs[j + 1]],
-                    blend=blend,
-                    use_16bit_when_possible=use_16bit,
-                )
+    if checkpoint is not None:
+        # Durable thunks cannot ship to worker processes, so the
+        # checkpoint path stays round-synchronous in-process — but fused
+        # rounds still apply (each fused task is a chain of individually
+        # checkpointed steps).
+        return _grid_run_checkpointed(
+            ca, cb, machine, m_outer, n_outer, levels, spans, root, rounds,
+            blend, use_16bit, multiply, checkpoint,
+        )
+    return _grid_run_dataflow(
+        ca, cb, machine, m_outer, n_outer, spans, root, rounds,
+        blend, use_16bit, multiply, compact, pipeline, metrics,
+    )
 
-            return checkpoint.leaf_thunk(
-                ca[a_offs[i] : a_offs[i + 1]], cb[b_offs[j] : b_offs[j + 1]], thunk
+
+def _grid_run_dataflow(
+    ca, cb, machine, m_outer, n_outer, spans, root, rounds,
+    blend, use_16bit, multiply, compact, pipeline, metrics,
+):
+    """Execute a (fused) grid plan as a task dataflow.
+
+    Tasks ship as pure ``(fn, args, kwargs)`` specs — process machines
+    run them in workers (the input sequences broadcast once as
+    shared-memory segments, results travelling back as handles),
+    in-process machines run the identical partials locally. Scheduling
+    is by readiness, not by level: a task is submitted once every
+    external input has drained, in worker-sized chunks, with two chunks
+    in flight when *pipeline* is on (one otherwise). Early compositions
+    therefore overlap the tail of the leaf round — on the PR 7 schedule
+    every level waited for its slowest predecessor task.
+
+    A node's backing segment is released once all consuming tasks have
+    drained (each node has exactly one consumer in a reduction tree, but
+    the refcount keeps this honest); the broadcast inputs are released
+    when the last leaf drains.
+    """
+    # -- build the task list: leaves first (row-major), then fused tasks
+    tasks = []  # (ops, ext, out_node, is_leaf); ext: arrays (leaf) or node ids
+    bca, bcb = machine_broadcast(machine, ca, cb)
+    for node in range(m_outer * n_outer):
+        a_lo, a_hi, b_lo, b_hi = spans[node]
+        tasks.append((
+            [("l", 0, 1, 0, 0, 0)],
+            [bca[a_lo:a_hi], bcb[b_lo:b_hi]],
+            node,
+            True,
+        ))
+    for rnd in rounds:
+        for task_ops in rnd:
+            internal = {op.out for op in task_ops}
+            ext = []
+            pos = {}  # node id -> index into the worker's value list
+            for op in task_ops:
+                for s in (op.left, op.right):
+                    if s not in internal and s not in pos:
+                        pos[s] = len(ext)
+                        ext.append(s)
+            enc = []
+            for k, op in enumerate(task_ops):
+                enc.append((op.kind, pos[op.left], pos[op.right], op.d0, op.d1, op.d2))
+                pos[op.out] = len(ext) + k
+            tasks.append((enc, ext, task_ops[-1].out, False))
+
+    # -- dependency bookkeeping
+    dep_count = []
+    consumers: dict[int, list[int]] = {}  # node -> tasks reading it
+    uses: dict[int, int] = {}  # node -> undrained consuming tasks
+    for t_idx, (_enc, ext, _out, is_leaf) in enumerate(tasks):
+        if is_leaf:
+            dep_count.append(0)
+            continue
+        dep_count.append(len(ext))
+        for s in ext:
+            consumers.setdefault(s, []).append(t_idx)
+            uses[s] = uses.get(s, 0) + 1
+
+    results: dict[int, object] = {}  # node -> kernel (or transport handle)
+
+    def make_spec(t_idx):
+        enc, ext, _out, is_leaf = tasks[t_idx]
+        vals = ext if is_leaf else [results[s] for s in ext]
+        return (_grid_run_fused, (enc, blend, use_16bit, multiply, compact, *vals), {})
+
+    ready = [t for t in range(len(tasks)) if dep_count[t] == 0]
+    inflight: deque = deque()
+    depth = 2 if pipeline else 1
+    chunk_size = max(1, machine.workers)
+    leaves_open = m_outer * n_outer
+
+    while ready or inflight:
+        while ready and len(inflight) < depth:
+            chunk, ready = ready[:chunk_size], ready[chunk_size:]
+            if any(tok[0] == "pending" for tok, _ in inflight):
+                metrics.inc("compute.pipelined_rounds", 1)
+            token = machine_submit_round(machine, [make_spec(t) for t in chunk])
+            inflight.append((token, chunk))
+        token, chunk = inflight.popleft()
+        outs = machine_drain_round(token)
+        for t_idx, res in zip(chunk, outs):
+            _enc, ext, out_node, is_leaf = tasks[t_idx]
+            results[out_node] = res
+            for c in consumers.get(out_node, ()):
+                dep_count[c] -= 1
+                if dep_count[c] == 0:
+                    ready.append(c)
+            if is_leaf:
+                leaves_open -= 1
+                if leaves_open == 0:
+                    # the encoded inputs are only read by leaf tasks
+                    machine_release(machine, bca, bcb)
+            else:
+                for s in ext:
+                    uses[s] -= 1
+                    if uses[s] == 0:
+                        machine_release(machine, results.pop(s))
+
+    result = results[root]
+    local = machine_localize(machine, result)
+    machine_release(machine, result)
+    return np.asarray(local, dtype=np.int64)
+
+
+def _grid_run_checkpointed(
+    ca, cb, machine, m_outer, n_outer, levels, spans, root, rounds,
+    blend, use_16bit, multiply, checkpoint,
+):
+    """Execute a (fused) grid plan round-synchronously with durable
+    thunks (see :func:`parallel_hybrid_combing_grid` — the checkpoint
+    path keeps PR 7's level-by-level structure apart from fusion)."""
+    results: dict[int, np.ndarray] = {}
+
+    def leaf_thunk(node):
+        a_lo, a_hi, b_lo, b_hi = spans[node]
+
+        def thunk():
+            return iterative_combing_antidiag_simd(
+                ca[a_lo:a_hi], cb[b_lo:b_hi],
+                blend=blend, use_16bit_when_possible=use_16bit,
             )
 
-        leaf_tasks = [leaf_thunk(i, j) for i in range(m_outer) for j in range(n_outer)]
-        flat = machine.run_round(leaf_tasks)
-        for i in range(m_outer):
-            for j in range(n_outer):
-                checkpoint.record_leaf(i, j, leaf_tasks[i * n_outer + j].key)
-    grid = [[flat[i * n_outer + j] for j in range(n_outer)] for i in range(m_outer)]
+        return checkpoint.leaf_thunk(ca[a_lo:a_hi], cb[b_lo:b_hi], thunk)
 
-    level = 0
-    while m_outer > 1 or n_outer > 1:
-        level += 1
-        cur_a_offs = np.concatenate([[0], np.cumsum(a_lens)])
-        cur_b_offs = np.concatenate([[0], np.cumsum(b_lens)])
-        if n_outer == 1:
-            row_reduction = False
-        elif m_outer == 1:
-            row_reduction = True
-        else:
-            row_reduction = (m / m_outer) >= (n / n_outer)
+    leaf_tasks = [leaf_thunk(node) for node in range(m_outer * n_outer)]
+    flat = machine.run_round(leaf_tasks)
+    for i in range(m_outer):
+        for j in range(n_outer):
+            node = i * n_outer + j
+            checkpoint.record_leaf(i, j, leaf_tasks[node].key)
+            results[node] = flat[node]
+
+    # journal metadata keeps the unfused (level, index) coordinates —
+    # keys are content-addressed, so resume is fusion-agnostic
+    op_coords = {
+        id(op): (lvl + 1, idx)
+        for lvl, ops in enumerate(levels)
+        for idx, op in enumerate(ops)
+    }
+
+    for rnd in rounds:
         thunks = []
-        placements = []
-        consumed = []
-        if row_reduction:
-            for i in range(m_outer):
-                for jj, j in enumerate(range(0, n_outer - 1, 2)):
-                    if use_spec:
-                        thunks.append(
-                            (
-                                _grid_compose_h,
-                                (
-                                    grid[i][j],
-                                    grid[i][j + 1],
-                                    a_lens[i],
-                                    b_lens[j],
-                                    b_lens[j + 1],
-                                    multiply,
-                                    compact,
-                                ),
-                                {},
-                            )
-                        )
-                        consumed += [grid[i][j], grid[i][j + 1]]
-                    else:
-                        compute = lambda i=i, j=j: compose_horizontal(
-                            grid[i][j], grid[i][j + 1], a_lens[i], b_lens[j], b_lens[j + 1], multiply
-                        )
-                        compute = checkpoint.compose_thunk(
-                            ca[cur_a_offs[i] : cur_a_offs[i + 1]],
-                            cb[cur_b_offs[j] : cur_b_offs[j + 2]],
-                            compute,
-                        ) or compute
-                        thunks.append(compute)
-                    placements.append((i, jj))
-            if use_spec:
-                results = run_array_round(machine, thunks)
-                machine_release(machine, *consumed)
-            else:
-                results = machine.run_round(thunks)
-                for node_index, t in enumerate(thunks):
-                    if hasattr(t, "key"):
-                        checkpoint.record_compose(level, node_index, t.key)
-            new_n = (n_outer + 1) // 2
-            new_grid = [[None] * new_n for _ in range(m_outer)]
-            for (i, jj), res in zip(placements, results):
-                new_grid[i][jj] = res
-            if n_outer % 2:
-                for i in range(m_outer):
-                    new_grid[i][new_n - 1] = grid[i][n_outer - 1]
-            new_b_lens = [
-                b_lens[j] + b_lens[j + 1] for j in range(0, n_outer - 1, 2)
-            ] + ([b_lens[-1]] if n_outer % 2 else [])
-            grid, b_lens, n_outer = new_grid, new_b_lens, new_n
-        else:
-            for ii, i in enumerate(range(0, m_outer - 1, 2)):
-                for j in range(n_outer):
-                    if use_spec:
-                        thunks.append(
-                            (
-                                _grid_compose_v,
-                                (
-                                    grid[i][j],
-                                    grid[i + 1][j],
-                                    a_lens[i],
-                                    a_lens[i + 1],
-                                    b_lens[j],
-                                    multiply,
-                                    compact,
-                                ),
-                                {},
-                            )
-                        )
-                        consumed += [grid[i][j], grid[i + 1][j]]
-                    else:
-                        compute = lambda i=i, j=j: compose_vertical(
-                            grid[i][j], grid[i + 1][j], a_lens[i], a_lens[i + 1], b_lens[j], multiply
-                        )
-                        compute = checkpoint.compose_thunk(
-                            ca[cur_a_offs[i] : cur_a_offs[i + 2]],
-                            cb[cur_b_offs[j] : cur_b_offs[j + 1]],
-                            compute,
-                        ) or compute
-                        thunks.append(compute)
-                    placements.append((ii, j))
-            if use_spec:
-                results = run_array_round(machine, thunks)
-                machine_release(machine, *consumed)
-            else:
-                results = machine.run_round(thunks)
-                for node_index, t in enumerate(thunks):
-                    if hasattr(t, "key"):
-                        checkpoint.record_compose(level, node_index, t.key)
-            new_m = (m_outer + 1) // 2
-            new_grid = [[None] * n_outer for _ in range(new_m)]
-            for (ii, j), res in zip(placements, results):
-                new_grid[ii][j] = res
-            if m_outer % 2:
-                new_grid[new_m - 1] = grid[m_outer - 1]
-            new_a_lens = [
-                a_lens[i] + a_lens[i + 1] for i in range(0, m_outer - 1, 2)
-            ] + ([a_lens[-1]] if m_outer % 2 else [])
-            grid, a_lens, m_outer = new_grid, new_a_lens, new_m
+        for task_ops in rnd:
+            local: dict[int, np.ndarray] = {}
+            steps = []
+            for op in task_ops:
 
-    result = grid[0][0]
-    if use_spec:
-        local = machine_localize(machine, result)
-        machine_release(machine, result)
-        result = local
-    result = np.asarray(result, dtype=np.int64)
-    if checkpoint is not None:
-        checkpoint.finish(ca, cb, result)
+                def compute(op=op, local=local):
+                    lv = local.get(op.left)
+                    lv = results[op.left] if lv is None else lv
+                    rv = local.get(op.right)
+                    rv = results[op.right] if rv is None else rv
+                    fn = compose_horizontal if op.kind == "h" else compose_vertical
+                    return fn(
+                        np.asarray(lv, dtype=np.int64),
+                        np.asarray(rv, dtype=np.int64),
+                        op.d0, op.d1, op.d2, multiply,
+                    )
+
+                a_lo, a_hi, b_lo, b_hi = spans[op.out]
+                wrapped = checkpoint.compose_thunk(
+                    ca[a_lo:a_hi], cb[b_lo:b_hi], compute
+                ) or compute
+                steps.append((op.out, wrapped, op))
+            thunks.append(_FusedThunk(steps, local))
+        outs = machine.run_round(thunks)
+        for task_ops, thunk, out in zip(rnd, thunks, outs):
+            results[task_ops[-1].out] = out
+            for node, fn, op in thunk.steps:
+                if hasattr(fn, "key"):
+                    lvl, idx = op_coords[id(op)]
+                    checkpoint.record_compose(lvl, idx, fn.key)
+            for op in task_ops:
+                results.pop(op.left, None)
+                results.pop(op.right, None)
+
+    result = np.asarray(results[root], dtype=np.int64)
+    checkpoint.finish(ca, cb, result)
     return result

@@ -38,12 +38,18 @@ def steady_ant_parallel(
     machine=None,
     depth: int | None = None,
     leaf_multiply=steady_ant_combined,
+    vectorize: bool = False,
 ) -> PermArray:
     """Sticky product ``p ⊙ q`` with ``2^depth``-way task parallelism.
 
     ``depth`` defaults to ``ceil(log2(workers)) + 1`` (twice as many
     tasks as workers, giving the dynamic schedule slack). ``depth = 0``
     degenerates to the sequential algorithm.
+
+    ``vectorize=True`` runs each leaf sub-multiplication through the
+    level-vectorized engine (:func:`~.vectorized.steady_ant_vectorized`)
+    instead of the scalar combined recursion — the leaves are where all
+    the parallel work lives, so this composes with task parallelism.
 
     Observability: a ``steady_ant.parallel`` span wraps the whole
     call; ``steady_ant.parallel_leaves`` counts the leaf
@@ -55,6 +61,10 @@ def steady_ant_parallel(
     n = p.size
     if n != q.size:
         raise ShapeMismatchError(f"orders differ: {n} vs {q.size}")
+    if vectorize and leaf_multiply is steady_ant_combined:
+        from .vectorized import steady_ant_vectorized
+
+        leaf_multiply = steady_ant_vectorized
     if machine is None:
         machine = SerialMachine()
     if depth is None:

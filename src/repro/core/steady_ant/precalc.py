@@ -12,6 +12,7 @@ The table is built lazily on first use and shared process-wide.
 
 from __future__ import annotations
 
+import os
 import threading
 from itertools import permutations
 
@@ -40,18 +41,47 @@ def unpack(word: int, n: int) -> np.ndarray:
     return np.asarray([(word >> (4 * k)) & 0xF for k in range(n)], dtype=np.int64)
 
 
+#: Environment override for the table construction strategy —
+#: ``"vectorized"`` (default: one batched dense (min,+) product per
+#: order, ~50x faster cold start) or ``"scalar"`` (the original 15017
+#: scalar dense products; the perf benchmarks use it to reproduce
+#: pre-vectorization cold-build semantics honestly).
+PRECALC_BUILD_ENV = "REPRO_PRECALC_BUILD"
+
+
 class PrecalcTable:
     """Products of all permutation pairs of order up to ``max_order``.
 
     ``lookup(packed_p, packed_q, n)`` returns the packed product in O(1).
+
+    ``build`` selects the construction strategy (``"vectorized"`` /
+    ``"scalar"``); when ``None`` the :data:`PRECALC_BUILD_ENV`
+    environment variable decides, defaulting to ``"vectorized"``. Both
+    strategies produce identical tables (equality-tested) — the
+    vectorized one computes each order's ``(n!)^2`` products as a single
+    batch via :func:`~.vectorized.batch_sticky_multiply`, which matters
+    because every worker process pays this build once.
     """
 
-    def __init__(self, max_order: int = DEFAULT_MAX_ORDER):
+    def __init__(self, max_order: int = DEFAULT_MAX_ORDER, *, build: str | None = None):
         if not 1 <= max_order <= 8:
             raise ValueError("max_order must be in [1, 8] (tetrade packing)")
+        if build is None:
+            build = os.environ.get(PRECALC_BUILD_ENV, "vectorized")
+        if build not in ("vectorized", "scalar"):
+            raise ValueError(f"unknown precalc build strategy {build!r}")
         self.max_order = max_order
+        self.build = build
         self._tables: list[dict[tuple[int, int], int]] = [dict() for _ in range(max_order + 1)]
         self._unpacked_cache: dict[tuple[int, int], np.ndarray] = {}
+        if build == "vectorized":
+            from .vectorized import build_precalc_products
+
+            for n, packed_p, packed_q, packed_r in build_precalc_products(max_order):
+                table = self._tables[n]
+                for pp, qp, rp in zip(packed_p.tolist(), packed_q.tolist(), packed_r.tolist()):
+                    table[(pp, qp)] = rp
+            return
         for n in range(1, max_order + 1):
             table = self._tables[n]
             perms = [np.asarray(p, dtype=np.int64) for p in permutations(range(n))]

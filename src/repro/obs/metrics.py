@@ -412,6 +412,22 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str, str], ...] = (
      "PrecalcTable constructions — at most one per (process, max_order) under the warm-once guard."),
     ("steady_ant.precalc_hits", "counter", "calls", "core.steady_ant",
      "get_precalc_table calls answered by the already-built shared table."),
+    ("steady_ant.vectorized_multiplies", "counter", "calls", "core.steady_ant",
+     "Top-level level-vectorized steady-ant multiplications (steady_ant_vectorized)."),
+    ("steady_ant.vectorized_base_hits", "counter", "lanes", "core.steady_ant",
+     "Recursion leaves answered by the batched dense (min,+) base kernel (lanes across all levels)."),
+    ("steady_ant.vectorized_levels", "counter", "levels", "core.steady_ant",
+     "Recursion levels expanded breadth-first by the vectorized steady ant."),
+    ("steady_ant.vectorized_plan_builds", "counter", "plans", "core.steady_ant",
+     "Cold growths of the shared index buffer behind the batched kernels (zero after warm_compute_kernels)."),
+    ("compute.fused_tasks", "counter", "tasks", "core.combing",
+     "Multi-op fused tasks submitted by grid combing (adjacent levels merged under the payload budget)."),
+    ("compute.rounds_saved", "counter", "rounds", "core.combing",
+     "Machine rounds eliminated by fusing adjacent combing levels or wavefront anti-diagonals."),
+    ("compute.pipelined_rounds", "counter", "rounds", "core.combing",
+     "Grid rounds submitted while a previous round was still draining (double-buffered overlap)."),
+    ("compute.multi_diag_calls", "counter", "calls", "core.bitparallel",
+     "Bit-parallel LCS calls served by the multi-diagonal carry-adder column sweep."),
     ("batch.pairs", "counter", "pairs", "batch",
      "String pairs accepted by the batched throughput engine."),
     ("batch.megabatches", "counter", "batches", "batch",

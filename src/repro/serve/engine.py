@@ -71,6 +71,11 @@ class Engine:
     warm_precalc:
         Build the steady-ant precalc table at :meth:`start` instead of
         lazily inside the first request.
+    warm_compute:
+        Prefill the vectorized steady-ant plan cache
+        (:func:`~repro.core.steady_ant.warm_compute_kernels`) at
+        :meth:`start` so the first served request pays no cold-path
+        plan construction on the vectorized multiply.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class Engine:
         policy: FaultPolicy | bool | None = None,
         chaos: dict | None = None,
         warm_precalc: bool = True,
+        warm_compute: bool = True,
         **algo_kwargs,
     ):
         self.backend = backend
@@ -98,6 +104,7 @@ class Engine:
         self.policy = policy
         self.chaos = dict(chaos) if chaos else None
         self.warm_precalc = bool(warm_precalc)
+        self.warm_compute = bool(warm_compute)
         self.algo_kwargs = dict(algo_kwargs)
         self.machine = None
         self.scheduler: BatchScheduler | None = None
@@ -144,6 +151,10 @@ class Engine:
                 from ..core.steady_ant.precalc import get_precalc_table
 
                 get_precalc_table()
+            if self.warm_compute:
+                from ..core.steady_ant import warm_compute_kernels
+
+                warm_compute_kernels()
             self.scheduler = BatchScheduler(
                 self.machine,
                 algorithm=self.algorithm,

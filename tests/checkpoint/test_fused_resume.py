@@ -1,0 +1,108 @@
+"""Checkpoint/resume across fused-round boundaries (PR 8).
+
+Fusion changes *scheduling*, not identity: checkpoint keys are
+content-addressed by the covered slices, so a run may crash inside a
+fused round and resume under *different* fusion settings — including
+resuming a fused run unfused and vice versa — always bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import GridCheckpointer, KernelStore
+from repro.core.combing.iterative import iterative_combing_rowmajor
+from repro.core.combing.parallel import parallel_hybrid_combing_grid
+from repro.parallel import (
+    ChaosMachine,
+    ChaosProcessDeath,
+    FaultPolicy,
+    ResilientMachine,
+    SerialMachine,
+)
+
+from ..conftest import random_codes
+
+
+def checkpointer(tmp_path):
+    store = KernelStore(tmp_path / "store")
+    return store, GridCheckpointer(store, compose_min_order=0)
+
+
+def crashing_machine(abort_after, seed=1):
+    return ResilientMachine(
+        ChaosMachine(SerialMachine(), abort_after=abort_after, seed=seed),
+        FaultPolicy(max_retries=2),
+        sleep=lambda s: None,
+    )
+
+
+def resume(tmp_path, a, b, **kw):
+    store = KernelStore(tmp_path / "store")
+    got = parallel_hybrid_combing_grid(
+        a, b, SerialMachine(), n_tasks=6,
+        checkpoint=GridCheckpointer(store, compose_min_order=0), **kw,
+    )
+    return store, got
+
+
+class TestFusedCheckpointing:
+    def test_fused_checkpointed_equals_reference(self, tmp_path, rng):
+        a, b = random_codes(rng, 26), random_codes(rng, 22)
+        _, ckpt = checkpointer(tmp_path)
+        got = parallel_hybrid_combing_grid(
+            a, b, SerialMachine(), n_tasks=6, checkpoint=ckpt,
+            fuse_rounds=True, fuse_budget=1 << 30,
+        )
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+
+    def test_completed_fused_run_resumes_as_one_hit(self, tmp_path, rng):
+        a, b = random_codes(rng, 26), random_codes(rng, 22)
+        _, ckpt = checkpointer(tmp_path)
+        first = parallel_hybrid_combing_grid(
+            a, b, SerialMachine(), n_tasks=6, checkpoint=ckpt,
+            fuse_rounds=True, fuse_budget=1 << 30,
+        )
+        store2, got = resume(tmp_path, a, b, fuse_rounds=True, fuse_budget=1 << 30)
+        assert np.array_equal(got, first)
+        assert store2.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "writes": 0}
+
+
+class TestCrashAcrossFusionBoundary:
+    def _crash(self, tmp_path, a, b, abort_after, **kw):
+        store, ckpt = checkpointer(tmp_path)
+        with pytest.raises(ChaosProcessDeath):
+            parallel_hybrid_combing_grid(
+                a, b, crashing_machine(abort_after), n_tasks=6,
+                checkpoint=ckpt, **kw,
+            )
+        ckpt.flush()
+        return store
+
+    def test_crash_fused_resume_unfused(self, tmp_path, rng):
+        a, b = random_codes(rng, 28), random_codes(rng, 28)
+        store = self._crash(
+            tmp_path, a, b, abort_after=3, fuse_rounds=True, fuse_budget=1 << 30
+        )
+        assert store.stats()["writes"] >= 1
+        store2, got = resume(tmp_path, a, b, fuse_rounds=False)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+        assert store2.stats()["hits"] >= 1  # fused-run work was reused
+
+    def test_crash_unfused_resume_fused(self, tmp_path, rng):
+        a, b = random_codes(rng, 28), random_codes(rng, 28)
+        store = self._crash(tmp_path, a, b, abort_after=4, fuse_rounds=False)
+        assert store.stats()["writes"] >= 1
+        store2, got = resume(tmp_path, a, b, fuse_rounds=True, fuse_budget=1 << 30)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+        assert store2.stats()["hits"] >= 1
+
+    def test_crash_mid_fused_round_resume_other_budget(self, tmp_path, rng):
+        a, b = random_codes(rng, 30), random_codes(rng, 26)
+        # crash after every leaf completed: the dying task is the fused
+        # reduction itself
+        store = self._crash(
+            tmp_path, a, b, abort_after=6, fuse_rounds=True, fuse_budget=1 << 30
+        )
+        store2, got = resume(tmp_path, a, b, fuse_rounds=True, fuse_budget=64)
+        assert np.array_equal(got, iterative_combing_rowmajor(a, b))
+        assert store2.stats()["hits"] >= 1

@@ -100,6 +100,57 @@ class TestServing:
         assert e.machine is None  # released by close
 
 
+class TestWarmCompute:
+    """PR 8: :meth:`Engine.start` prefills the vectorized steady-ant plan
+    cache, so the *first* served request does no cold-path plan build."""
+
+    # big enough that the semi-local kernel recurses into the vectorized
+    # base case at several distinct orders
+    PAIR = [("abracadabra" * 8, "alakazamabra" * 8)]
+
+    @staticmethod
+    def _builds() -> int:
+        from repro.obs import get_metrics
+
+        return get_metrics().counter("steady_ant.vectorized_plan_builds").value
+
+    @staticmethod
+    def _engine(**kw) -> Engine:
+        from repro.core.steady_ant import steady_ant_vectorized
+
+        return Engine(
+            backend="none",
+            algorithm="semi_hybrid",
+            multiply=steady_ant_vectorized,
+            **kw,
+        )
+
+    @staticmethod
+    def _chill():
+        """Simulate a cold serving process: drop the shared index buffer."""
+        import numpy as np
+
+        from repro.core.steady_ant import vectorized as V
+
+        V._iota_buf = np.empty(0, dtype=np.int64)
+
+    def test_first_request_pays_no_plan_builds(self):
+        self._chill()
+        with self._engine() as e:
+            before = self._builds()
+            e.scores(self.PAIR)
+            assert self._builds() == before
+
+    def test_cold_engine_would_have_built(self):
+        # guard against vacuity: with warming disabled the same request
+        # *does* build plans, so the warm assertion above is meaningful
+        self._chill()
+        with self._engine(warm_compute=False, warm_precalc=False) as e:
+            before = self._builds()
+            e.scores(self.PAIR)
+            assert self._builds() > before
+
+
 class TestDegradedMode:
     def test_chaos_faults_are_invisible_in_results(self):
         policy = FaultPolicy(max_retries=3, backoff_base=0.0, jitter=0.0)
