@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Fail when a relative markdown link points at a missing file.
+
+The CI docs job runs this after regenerating the reference::
+
+    python docs/check_links.py
+
+Scans the prose docs (README, DESIGN, EXPERIMENTS, ROADMAP, CHANGES,
+everything under ``docs/``) for inline markdown links and checks that
+every *relative* target resolves to an existing file or directory,
+relative to the document that contains it. External links
+(``http(s)://``, ``mailto:``) and pure in-page anchors (``#section``)
+are skipped; a ``path#anchor`` target is checked for the path part
+only. Exits 1 listing every dangling link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+DOC_GLOBS = ("*.md", "docs/*.md", "docs/api/*.md", "benchmarks/*.md")
+
+# inline links [text](target); images ![alt](target) match too, which is
+# what we want. Reference-style links are not used in this repo.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^(```|~~~)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def links_in(doc: Path) -> list[tuple[int, str]]:
+    """``(line_number, target)`` of every link in *doc*, skipping
+    fenced code blocks (bench tables quote ``[...]`` literals)."""
+    found = []
+    in_fence = False
+    for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            found.append((lineno, match.group(1)))
+    return found
+
+
+def dangling_links() -> list[str]:
+    """``doc:line: target`` for every relative link that does not resolve."""
+    bad = []
+    docs = sorted({p for g in DOC_GLOBS for p in REPO.glob(g)})
+    for doc in docs:
+        for lineno, target in links_in(doc):
+            if target.startswith(_SKIP_PREFIXES):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            if not (doc.parent / path).exists():
+                rel = doc.relative_to(REPO)
+                bad.append(f"{rel}:{lineno}: {target}")
+    return bad
+
+
+def main() -> int:
+    bad = dangling_links()
+    for entry in bad:
+        print(f"dangling link: {entry}")
+    if bad:
+        print(f"{len(bad)} dangling link(s)", file=sys.stderr)
+        return 1
+    docs = sorted({p for g in DOC_GLOBS for p in REPO.glob(g)})
+    total = sum(len(links_in(d)) for d in docs)
+    print(f"all relative links resolve ({total} links in {len(docs)} docs)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,10 +22,21 @@ version`` and never trusts what it reads back:
   checkpoint`` CLI) can observe exactly how a run interacted with the
   store.
 
+**Cache mode** (the serving-path memoization tier behind
+:class:`repro.query.QueryEngine`): constructing the store with
+``max_bytes=N`` turns it into an LRU-bounded cache — every hit
+*touches* the artifact (its manifest mtime becomes the recency stamp,
+monotonic within a process), every :meth:`put` evicts
+least-recently-touched artifacts until the store fits the byte budget,
+and pinned artifacts (:meth:`pin`, used for run checkpoints that must
+survive) are never evicted. Evictions count in ``store.evictions`` and
+the running hit rate is exported as the ``store.hit_rate`` gauge.
+
 Layout under the store root::
 
     objects/<key[:2]>/<key>.perm    raw little-endian int64 kernel
     objects/<key[:2]>/<key>.json    manifest (see MANIFEST_FIELDS)
+    pins/<key>.pin                  pin markers (excluded from eviction/gc)
     runs/<run_id>.jsonl             run journals (repro.checkpoint.journal)
 """
 
@@ -43,7 +54,7 @@ import numpy as np
 
 from ..core.permutation import perm_from_bytes, perm_to_bytes
 from ..errors import CheckpointCorruptionError, CheckpointError
-from ..obs.metrics import inc as _metric_inc
+from ..obs.metrics import get_metrics as _get_metrics, inc as _metric_inc
 from ..types import PermArray
 
 #: Bump to invalidate every previously written artifact (key + manifest
@@ -113,22 +124,41 @@ class KernelStore:
     ``create=False`` refuses to touch a directory that does not already
     hold a store (the CLI inspection commands use it, so a typo'd path
     errors instead of materializing an empty store).
+
+    ``max_bytes`` switches on **cache mode**: the store becomes an LRU
+    with a byte budget — hits touch their artifact, :meth:`put` evicts
+    least-recently-touched unpinned artifacts until payload + manifest
+    bytes fit the budget, and the eviction/hit-rate counters are
+    exported through the metrics catalog (``store.evictions``,
+    ``store.hit_rate``, ``store.cache_bytes``).
     """
 
-    def __init__(self, root: str | os.PathLike, *, create: bool = True):
+    def __init__(
+        self,
+        root: str | os.PathLike,
+        *,
+        create: bool = True,
+        max_bytes: int | None = None,
+    ):
         self.root = Path(root)
         self.objects = self.root / "objects"
         self.runs = self.root / "runs"
+        self.pins_dir = self.root / "pins"
         if create:
             self.objects.mkdir(parents=True, exist_ok=True)
             self.runs.mkdir(parents=True, exist_ok=True)
         elif not self.objects.is_dir():
             raise FileNotFoundError(f"no checkpoint store at {self.root}")
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
+        if self.max_bytes is not None and self.max_bytes <= 0:
+            raise CheckpointError(f"max_bytes must be positive, got {max_bytes}")
         self._lock = threading.Lock()
+        self._lru_clock = 0  # monotonic touch stamps (ns), ties broken upward
         self.hits = 0
         self.misses = 0
         self.corrupt = 0
         self.writes = 0
+        self.evictions = 0
 
     # stores are shipped to worker processes inside checkpointed thunks;
     # the lock is per-process state
@@ -157,6 +187,83 @@ class KernelStore:
         """Content-addressed key for (encoded inputs, algorithm) — see
         :func:`kernel_key`."""
         return kernel_key(ca, cb, algorithm)
+
+    # -- LRU cache mode -------------------------------------------------
+
+    def _touch(self, key: str) -> None:
+        """Stamp *key* as most-recently-used (manifest mtime, strictly
+        increasing within this process so rapid touches keep order)."""
+        with self._lock:
+            stamp = max(time.time_ns(), self._lru_clock + 1)
+            self._lru_clock = stamp
+        try:
+            os.utime(self._manifest_path(key), ns=(stamp, stamp))
+        except OSError:  # pragma: no cover - raced with eviction/gc
+            pass
+
+    def _artifact_bytes(self, key: str) -> int:
+        total = 0
+        for path in (self._payload_path(key), self._manifest_path(key)):
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def total_bytes(self) -> int:
+        """Payload + manifest bytes of every committed artifact."""
+        return sum(self._artifact_bytes(key) for key in self.keys())
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the store (0.0 before any)."""
+        with self._lock:
+            looked = self.hits + self.misses
+            return self.hits / looked if looked else 0.0
+
+    def pin(self, key: str) -> None:
+        """Exclude *key* from LRU eviction and age-based gc (run
+        checkpoints that must survive the cache churn)."""
+        self.pins_dir.mkdir(parents=True, exist_ok=True)
+        (self.pins_dir / f"{key}.pin").touch()
+
+    def unpin(self, key: str) -> None:
+        """Drop the pin on *key*; idempotent."""
+        (self.pins_dir / f"{key}.pin").unlink(missing_ok=True)
+
+    def pinned_keys(self) -> set[str]:
+        """Keys currently pinned against eviction."""
+        if not self.pins_dir.is_dir():
+            return set()
+        return {p.stem for p in self.pins_dir.glob("*.pin")}
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-touched unpinned artifacts until the
+        store fits ``max_bytes``. No-op outside cache mode."""
+        if self.max_bytes is None:
+            return
+        pinned = self.pinned_keys()
+        entries = []  # (mtime_ns, key, bytes)
+        total = 0
+        for key in self.keys():
+            size = self._artifact_bytes(key)
+            total += size
+            if key in pinned:
+                continue
+            try:
+                mtime = self._manifest_path(key).stat().st_mtime_ns
+            except OSError:
+                continue
+            entries.append((mtime, key, size))
+        entries.sort()
+        while total > self.max_bytes and entries:
+            _, key, size = entries.pop(0)
+            self.discard(key)
+            total -= size
+            with self._lock:
+                self.evictions += 1
+            _metric_inc("store.evictions", 1)
+        _get_metrics().gauge("store.cache_bytes").set(total)
 
     # -- write ---------------------------------------------------------
 
@@ -187,6 +294,9 @@ class KernelStore:
             self.writes += 1
         _metric_inc("checkpoint.writes", 1)
         _metric_inc("checkpoint.bytes_written", len(payload))
+        if self.max_bytes is not None:
+            self._touch(key)  # a fresh write is the most recent use
+            self._enforce_budget()
 
     # -- read ----------------------------------------------------------
 
@@ -228,6 +338,11 @@ class KernelStore:
         except Exception as exc:
             raise CheckpointCorruptionError(f"{key}: payload is not a permutation: {exc}") from exc
 
+    def contains(self, key: str) -> bool:
+        """True when a committed artifact exists under *key* (manifest
+        present; contents are still verified on the eventual read)."""
+        return self._manifest_path(key).exists()
+
     def get(self, key: str) -> PermArray | None:
         """Return the verified kernel under *key*, ``None`` on a miss.
 
@@ -240,6 +355,7 @@ class KernelStore:
             with self._lock:
                 self.misses += 1
             _metric_inc("checkpoint.misses", 1)
+            self._export_hit_rate()
             return None
         try:
             perm = self._load_verified(key)
@@ -251,7 +367,13 @@ class KernelStore:
         with self._lock:
             self.hits += 1
         _metric_inc("checkpoint.hits", 1)
+        if self.max_bytes is not None:
+            self._touch(key)
+        self._export_hit_rate()
         return perm
+
+    def _export_hit_rate(self) -> None:
+        _get_metrics().gauge("store.hit_rate").set(self.hit_rate)
 
     def get_or_compute(
         self,
@@ -280,22 +402,35 @@ class KernelStore:
         self.put(key, perm, algorithm=algorithm, m=m, n=n)
         return perm
 
-    def discard(self, key: str) -> None:
+    def discard(self, key: str) -> int:
         """Remove an artifact (manifest first, so a crash mid-discard
-        leaves an orphan payload, not a valid-looking artifact)."""
-        self._manifest_path(key).unlink(missing_ok=True)
-        self._payload_path(key).unlink(missing_ok=True)
+        leaves an orphan payload, not a valid-looking artifact).
+
+        Returns the bytes actually freed (0 when nothing existed, so a
+        double discard — or a gc racing another gc — reports honestly).
+        """
+        freed = 0
+        for path in (self._manifest_path(key), self._payload_path(key)):
+            try:
+                size = path.stat().st_size
+                path.unlink()
+                freed += size
+            except OSError:
+                pass
+        return freed
 
     # -- maintenance ---------------------------------------------------
 
     def stats(self) -> dict:
-        """Hit / miss / corrupt / write counters for this process."""
+        """Hit / miss / corrupt / write / eviction counters for this
+        process."""
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "corrupt": self.corrupt,
                 "writes": self.writes,
+                "evictions": self.evictions,
             }
 
     def keys(self) -> Iterator[str]:
@@ -338,25 +473,66 @@ class KernelStore:
 
     def gc(self, *, max_age_days: float | None = None, dry_run: bool = False) -> dict:
         """Garbage-collect the store: corrupt artifacts, orphan payloads,
-        leftover temp files, and (with *max_age_days*) artifacts older
-        than the cutoff. Returns removal counts; *dry_run* only counts."""
-        removed = {"corrupt": 0, "orphans": 0, "aged": 0, "tmp": 0, "kept": 0}
+        leftover temp files, and (with *max_age_days*) unpinned artifacts
+        older than the cutoff. Returns removal counts plus
+        ``reclaimed_bytes``; *dry_run* only counts.
+
+        ``reclaimed_bytes`` is the sum of bytes *actually unlinked*,
+        reported only after the touched object directories have been
+        fsynced — so the number survives a crash right after gc returns,
+        and a second invocation over the same store reclaims 0 instead of
+        double-counting (the LRU evictor uses gc as its backstop, so this
+        idempotence matters).
+        """
+        removed = {"corrupt": 0, "orphans": 0, "aged": 0, "tmp": 0, "kept": 0,
+                   "reclaimed_bytes": 0}
         cutoff = None if max_age_days is None else time.time() - max_age_days * 86400.0
+        pinned = self.pinned_keys()
+        touched_dirs: set[Path] = set()
+
+        def _remove(key: str) -> None:
+            touched_dirs.add(self._payload_path(key).parent)
+            if dry_run:
+                removed["reclaimed_bytes"] += self._artifact_bytes(key)
+            else:
+                removed["reclaimed_bytes"] += self.discard(key)
+
         for key, status in self.verify().items():
             if status == "ok":
-                if cutoff is not None and self._manifest_path(key).stat().st_mtime < cutoff:
+                aged = (
+                    cutoff is not None
+                    and key not in pinned
+                    and self._manifest_path(key).stat().st_mtime < cutoff
+                )
+                if aged:
                     removed["aged"] += 1
-                    if not dry_run:
-                        self.discard(key)
+                    _remove(key)
                 else:
                     removed["kept"] += 1
             else:
                 removed["orphans" if status.startswith("orphan") else "corrupt"] += 1
-                if not dry_run:
-                    self.discard(key)
+                _remove(key)
         if self.objects.is_dir():
             for tmp in sorted(self.objects.glob("*/*.tmp.*")):
                 removed["tmp"] += 1
+                touched_dirs.add(tmp.parent)
+                try:
+                    size = tmp.stat().st_size
+                except OSError:
+                    size = 0
+                removed["reclaimed_bytes"] += size
                 if not dry_run:
                     tmp.unlink(missing_ok=True)
+        if not dry_run:
+            # persist the unlinks before reporting reclaimed bytes: the
+            # report must never promise space a crash could un-reclaim
+            for directory in sorted(touched_dirs):
+                try:
+                    dir_fd = os.open(directory, os.O_RDONLY)
+                    try:
+                        os.fsync(dir_fd)
+                    finally:
+                        os.close(dir_fd)
+                except OSError:  # pragma: no cover - platform dependent
+                    pass
         return removed

@@ -421,6 +421,9 @@ def _cmd_serve(args) -> int:
         max_lanes=args.max_lanes,
         policy=policy if args.backend != "none" else None,
         chaos=chaos,
+        query_store_dir=args.query_store,
+        query_max_bytes=args.query_max_bytes,
+        query_max_kernels=args.query_max_kernels,
     )
     config = ServerConfig(
         host=args.host,
@@ -470,6 +473,24 @@ def _cmd_client(args) -> int:
         pairs = _read_pairs(args.pairs)
         import time
 
+        if args.query:
+            import json
+
+            params = _query_params(args.query, args)
+            start = time.perf_counter()
+            for i, (a, b) in enumerate(pairs):
+                result = client.query(
+                    args.query, a, b, deadline_ms=args.deadline_ms, **params
+                )
+                print(f"{i}\t{json.dumps(result)}")
+            elapsed = time.perf_counter() - start
+            rate = len(pairs) / elapsed if elapsed > 0 else float("inf")
+            print(
+                f"client: {len(pairs)} '{args.query}' quer(ies) in "
+                f"{elapsed:.4f}s ({rate:.1f} queries/s)",
+                file=sys.stderr,
+            )
+            return 0
         start = time.perf_counter()
         scores = client.batch(pairs, deadline_ms=args.deadline_ms)
         elapsed = time.perf_counter() - start
@@ -480,6 +501,49 @@ def _cmd_client(args) -> int:
             f"client: {len(pairs)} pair(s) in {elapsed:.4f}s ({rate:.1f} pairs/s)",
             file=sys.stderr,
         )
+    return 0
+
+
+def _query_params(op: str, args) -> dict:
+    """Collect a query op's parameters from CLI flags, validating the
+    required ones up front (shared by 'query' and 'client --query')."""
+    from .errors import ReproError
+
+    params: dict = {}
+    if op == "windowed_lcs":
+        if args.window is None:
+            raise ReproError("'windowed_lcs' needs --window")
+        params["window"] = args.window
+    elif op == "substring_threshold_matches":
+        if args.theta is None:
+            raise ReproError("'substring_threshold_matches' needs --theta")
+        params["theta"] = args.theta
+        if args.window is not None:
+            params["window"] = args.window
+    elif op == "append":
+        if args.suffix is None:
+            raise ReproError("'append' needs --suffix")
+        params["suffix"] = args.suffix
+    return params
+
+
+def _cmd_query(args) -> int:
+    import json
+
+    from .query import QueryEngine
+
+    store = None
+    if args.store:
+        from .checkpoint import KernelStore
+
+        store = KernelStore(args.store, max_bytes=args.max_bytes)
+    engine = QueryEngine(store=store, max_kernels=args.max_kernels)
+    params = _query_params(args.op, args)
+    result = None
+    for _ in range(max(1, args.repeat)):
+        result = engine.answer(args.op, args.a, args.b, **params)
+    print(json.dumps(result))
+    print(f"query: {json.dumps(engine.stats(), sort_keys=True)}", file=sys.stderr)
     return 0
 
 
@@ -581,9 +645,11 @@ def _cmd_checkpoint(args) -> int:
     # gc
     counts = store.gc(max_age_days=args.max_age_days, dry_run=args.dry_run)
     verb = "would remove" if args.dry_run else "removed"
+    reclaim_verb = "would reclaim" if args.dry_run else "reclaimed"
     print(
         f"{verb} {counts['corrupt']} corrupt, {counts['orphans']} orphaned, "
-        f"{counts['aged']} aged, {counts['tmp']} temp file(s); {counts['kept']} kept"
+        f"{counts['aged']} aged, {counts['tmp']} temp file(s); "
+        f"{reclaim_verb} {counts['reclaimed_bytes']} byte(s); {counts['kept']} kept"
     )
     return 0
 
@@ -927,6 +993,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chaos-shm-loss-after", type=int, default=None, metavar="N",
                    help="inject a shared-memory outage after N segment allocations (testing)")
     p.add_argument("--seed", type=int, default=0, help="seed for chaos + backoff jitter")
+    g = p.add_argument_group("query tier (kernel memoization)")
+    g.add_argument("--query-store", metavar="DIR", default=None,
+                   help="back the query tier with an on-disk kernel store in DIR")
+    g.add_argument("--query-max-bytes", type=int, default=None, metavar="BYTES",
+                   help="LRU byte budget of --query-store (default: unbounded)")
+    g.add_argument("--query-max-kernels", type=int, default=64, metavar="N",
+                   help="in-memory LRU capacity in live kernels (default: 64)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -949,7 +1022,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print the daemon's metrics in Prometheus text format")
     p.add_argument("--health", action="store_true",
                    help="print the daemon's health document as JSON")
+    from .query.catalog import QUERY_OPS as _QUERY_OPS
+
+    p.add_argument("--query", metavar="OP", default=None, choices=list(_QUERY_OPS),
+                   help="send one 'query' request per pair instead of a scoring "
+                        f"batch (OP in {{{', '.join(_QUERY_OPS)}}})")
+    p.add_argument("--window", type=int, default=None, metavar="W",
+                   help="--query windowed_lcs / substring_threshold_matches window")
+    p.add_argument("--theta", type=float, default=None, metavar="T",
+                   help="--query substring_threshold_matches threshold in (0, 1]")
+    p.add_argument("--suffix", default=None, metavar="S",
+                   help="--query append suffix string")
     p.set_defaults(fn=_cmd_client)
+
+    p = sub.add_parser(
+        "query",
+        help="semi-local queries off a memoized kernel (one kernel, many queries)",
+        description=(
+            "Answer semi-local queries (see docs/queries.md) over a pair's "
+            "cached kernel: the first op combs once, every further op — and "
+            "every --repeat — reuses the kernel. --store persists kernels "
+            "across invocations (with --max-bytes it becomes an LRU cache); "
+            "the engine's hit/miss statistics print to stderr."
+        ),
+    )
+    p.add_argument("op", choices=list(_QUERY_OPS), help="query op from the catalog")
+    p.add_argument("a")
+    p.add_argument("b")
+    p.add_argument("--window", type=int, default=None, metavar="W",
+                   help="windowed_lcs / substring_threshold_matches window")
+    p.add_argument("--theta", type=float, default=None, metavar="T",
+                   help="substring_threshold_matches threshold in (0, 1]")
+    p.add_argument("--suffix", default=None, metavar="S", help="append suffix string")
+    p.add_argument("--store", metavar="DIR", default=None,
+                   help="back the engine with an on-disk kernel store in DIR")
+    p.add_argument("--max-bytes", type=int, default=None, metavar="BYTES",
+                   help="LRU byte budget of --store (default: unbounded)")
+    p.add_argument("--max-kernels", type=int, default=64, metavar="N",
+                   help="in-memory LRU capacity in live kernels (default: 64)")
+    p.add_argument("--repeat", type=int, default=1, metavar="K",
+                   help="answer the op K times (demonstrates memoization)")
+    p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser(
         "metrics",

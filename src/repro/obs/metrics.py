@@ -480,6 +480,22 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str, str], ...] = (
      "Kernel artifacts durably committed."),
     ("checkpoint.bytes_written", "counter", "bytes", "checkpoint",
      "Payload bytes durably committed to the kernel store."),
+    ("store.evictions", "counter", "artifacts", "checkpoint",
+     "Artifacts evicted by the LRU cache mode to stay under max_bytes."),
+    ("store.hit_rate", "gauge", "ratio", "checkpoint",
+     "Running kernel-store hit rate (hits / lookups), exported on every lookup."),
+    ("store.cache_bytes", "gauge", "bytes", "checkpoint",
+     "Bytes held by a cache-mode kernel store after its last budget enforcement."),
+    ("query.requests", "counter", "queries", "query",
+     "Semi-local queries answered by a QueryEngine (every op, hit or miss)."),
+    ("query.kernel_hits", "counter", "kernels", "query",
+     "Queries answered from an already-cached kernel (memory LRU or backing store)."),
+    ("query.kernel_misses", "counter", "kernels", "query",
+     "Queries that had to build (or compose) the pair's kernel first."),
+    ("query.kernel_builds", "counter", "kernels", "query",
+     "Fresh semi-local kernels combed on behalf of the query tier."),
+    ("query.appends", "counter", "kernels", "query",
+     "Extended kernels produced by Theorem 3.4 append-composition instead of a recompute."),
     ("resilience.retries", "counter", "attempts", "parallel.resilient",
      "Per-task re-executions after a failed round."),
     ("resilience.task_failures", "counter", "events", "parallel.resilient",
@@ -520,6 +536,12 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str, str], ...] = (
      "Admission queue depth, sampled at every enqueue and flush."),
     ("serve.batch_occupancy", "histogram", "requests", "serve",
      "Requests coalesced into each continuous-batching flush (occupancy > 1 means batching pays)."),
+    ("serve.query_requests", "counter", "requests", "serve",
+     "Semi-local 'query' requests received by the daemon."),
+    ("serve.query_hits", "counter", "requests", "serve",
+     "Query requests answered from a cached kernel, bypassing the batcher entirely."),
+    ("serve.query_misses", "counter", "requests", "serve",
+     "Query requests whose kernel build rode a continuous-batching flush."),
 )
 
 

@@ -88,7 +88,7 @@ class ServeClient:
         if "id" not in obj:
             self._next_id += 1
             obj = {**obj, "id": self._next_id}
-        if self.client_id is not None and obj.get("type") in ("lcs", "batch"):
+        if self.client_id is not None and obj.get("type") in ("lcs", "batch", "query"):
             obj.setdefault("client", self.client_id)
         self._sock.sendall(encode_line(obj))
         line = self._rfile.readline(MAX_LINE_BYTES)
@@ -113,6 +113,25 @@ class ServeClient:
         if deadline_ms is not None:
             req["deadline_ms"] = deadline_ms
         return [int(s) for s in result_of(self.request(req))["scores"]]
+
+    def query(
+        self,
+        op: str,
+        a: str,
+        b: str,
+        *,
+        deadline_ms: float | None = None,
+        **params: Any,
+    ):
+        """One semi-local query (:data:`repro.query.QUERY_OPS`) off the
+        daemon's memoized kernel tier; returns the op's ``result``
+        (int for ``lcs``/``append``, list for the array-valued ops)."""
+        req: dict[str, Any] = {"type": "query", "op": op, "a": a, "b": b}
+        if params:
+            req["params"] = params
+        if deadline_ms is not None:
+            req["deadline_ms"] = deadline_ms
+        return result_of(self.request(req))["result"]
 
     def metrics(self) -> str:
         """The daemon's metrics in Prometheus text exposition format."""

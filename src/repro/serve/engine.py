@@ -76,6 +76,14 @@ class Engine:
         (:func:`~repro.core.steady_ant.warm_compute_kernels`) at
         :meth:`start` so the first served request pays no cold-path
         plan construction on the vectorized multiply.
+    query_store_dir / query_max_bytes / query_max_kernels:
+        The query tier's memoization. ``query_store_dir`` backs the
+        :class:`~repro.query.QueryEngine` with an on-disk
+        :class:`~repro.checkpoint.store.KernelStore` (in LRU cache mode
+        when ``query_max_bytes`` is set) so cached kernels survive
+        restarts; ``query_max_kernels`` bounds the in-memory LRU of
+        live kernels. The query engine always exists after
+        :meth:`start` — without a store dir it is memory-only.
     """
 
     def __init__(
@@ -92,6 +100,9 @@ class Engine:
         chaos: dict | None = None,
         warm_precalc: bool = True,
         warm_compute: bool = True,
+        query_store_dir: str | None = None,
+        query_max_bytes: int | None = None,
+        query_max_kernels: int = 64,
         **algo_kwargs,
     ):
         self.backend = backend
@@ -105,11 +116,16 @@ class Engine:
         self.chaos = dict(chaos) if chaos else None
         self.warm_precalc = bool(warm_precalc)
         self.warm_compute = bool(warm_compute)
+        self.query_store_dir = query_store_dir
+        self.query_max_bytes = query_max_bytes
+        self.query_max_kernels = int(query_max_kernels)
         self.algo_kwargs = dict(algo_kwargs)
         self.machine = None
         self.scheduler: BatchScheduler | None = None
+        self.query = None
         self.batches = 0
         self.pairs_served = 0
+        self.queries_served = 0
         self._lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._state = "new"
@@ -163,6 +179,14 @@ class Engine:
                 pipeline_depth=self.pipeline_depth,
                 **self.algo_kwargs,
             )
+            from ..query import QueryEngine
+
+            store = None
+            if self.query_store_dir is not None:
+                from ..checkpoint import KernelStore
+
+                store = KernelStore(self.query_store_dir, max_bytes=self.query_max_bytes)
+            self.query = QueryEngine(store=store, max_kernels=self.query_max_kernels)
             self._state = "running"
         return self
 
@@ -223,6 +247,72 @@ class Engine:
         """LCS scores for *pairs* (ints, input order) on the warm engine."""
         return [int(s) for s in self.run_batch(pairs, want="scores")]
 
+    # -- the query tier --------------------------------------------------
+
+    def query_cached(self, op: str, a: str, b: str, params: dict) -> bool:
+        """True when *op* on the pair needs no kernel build — i.e. it can
+        be answered inline, bypassing the continuous batcher. For
+        ``append`` that means either the extended pair's composite kernel
+        or the base pair's kernel is already cached (composition itself
+        is cheap relative to a recomb)."""
+        if self._state == "new":
+            self.start()
+        if self.query is None:
+            return False
+        if op == "append":
+            suffix = params.get("suffix", "")
+            return self.query.cached(a + suffix, b) or self.query.cached(a, b)
+        return self.query.cached(a, b)
+
+    def run_query(self, op: str, a: str, b: str, params: dict):
+        """Answer one catalog query op on the warm query engine (cache
+        hits land here; misses should ride :meth:`run_query_batch` so
+        their kernel builds coalesce)."""
+        if self._state == "new":
+            self.start()
+        if self._state == "closed":
+            raise EngineClosedError("engine is closed")
+        result = self.query.answer(op, a, b, **params)
+        self.queries_served += 1
+        return result
+
+    def run_query_batch(self, items: Sequence) -> list:
+        """Answer many query ops, building every missing kernel in one
+        scheduler megabatch first (continuous batching of kernel builds).
+
+        *items* is a sequence of ``(op, a, b, params)``; returns one
+        ``(result, exception)`` pair per item in order — exactly one of
+        the two is ``None``, so the daemon can answer each request
+        individually instead of failing the whole flush.
+        """
+        if self._state == "new":
+            self.start()
+        with self._lock:
+            if self._state == "closed":
+                raise EngineClosedError("engine is closed")
+            to_build: list[tuple[str, str]] = []
+            seen: set = set()
+            for op, a, b, params in items:
+                pair = (a, b)  # append builds its *base* kernel too
+                if pair not in seen and not self.query.cached(a, b):
+                    seen.add(pair)
+                    to_build.append(pair)
+            if to_build:
+                built = self.scheduler.run(to_build, want="kernels")
+                for (a, b), (perm, _m, _n) in zip(to_build, built):
+                    self.query.install_kernel(a, b, perm)
+                self.batches += 1
+                self.pairs_served += len(built)
+        out = []
+        for op, a, b, params in items:
+            try:
+                result = self.query.answer(op, a, b, **params)
+                self.queries_served += 1
+                out.append((result, None))
+            except Exception as exc:  # noqa: BLE001 — per-item fault isolation
+                out.append((None, exc))
+        return out
+
     # -- health ---------------------------------------------------------
 
     def health(self) -> dict:
@@ -234,7 +324,9 @@ class Engine:
             "algorithm": self.algorithm,
             "batches": self.batches,
             "pairs_served": self.pairs_served,
+            "queries_served": self.queries_served,
         }
+        info["query"] = self.query.stats() if self.query is not None else {}
         machine = self.machine
         health = getattr(machine, "health", None)
         info["resilience"] = health() if health is not None else {}

@@ -2,9 +2,21 @@
 
 One request per line, one response per line, both UTF-8 JSON objects.
 Requests carry a ``type`` — ``lcs`` (one pair), ``batch`` (many pairs),
+``query`` (a semi-local query off the memoized kernel tier),
 ``metrics`` (Prometheus text exposition), ``health`` (engine + server
 state) — plus an optional client-chosen ``id`` echoed back verbatim, an
 optional ``client`` quota key and an optional ``deadline_ms`` budget.
+
+A ``query`` request is ``{"type": "query", "op": <op>, "a": ..., "b":
+..., "params": {...}}`` where ``op`` is one of
+:data:`repro.query.QUERY_OPS` (``lcs``, ``windowed_lcs``,
+``all_prefix_scores``, ``all_suffix_scores``,
+``substring_threshold_matches``, ``append``) and ``params`` holds the
+op's own arguments (``window``, ``theta``, ``suffix`` — see
+``docs/queries.md``). The success response is ``{"ok": true, "op":
+<op>, "result": ...}``. When the pair's kernel is already memoized the
+daemon answers inline (bypassing the batcher); otherwise the kernel
+build joins the next flush group's megabatch.
 
 Responses are either ``{"id": ..., "ok": true, ...}`` or a *structured
 error* ``{"id": ..., "ok": false, "error": {"code": ..., "message":

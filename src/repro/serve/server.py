@@ -22,6 +22,12 @@ into :class:`~repro.batch.BatchScheduler` megabatches on a warm
   / ``max_batch_pairs`` is reached, and dispatches the group to the
   engine on an executor thread. Up to ``inflight_flushes`` groups
   overlap (collect k+1 while k computes).
+- **Query tier** — ``query`` requests (:mod:`repro.query`) ride the same
+  envelope: when the pair's kernel is already memoized the request is
+  answered inline on the executor, *bypassing the batcher entirely*;
+  cache misses join flush groups so their kernel builds coalesce into
+  the same scheduler megabatches as scoring traffic. The hit/miss split
+  shows up as ``serve.query_hits`` / ``serve.query_misses``.
 - **Graceful drain** — SIGTERM (or :meth:`LcsServer.request_drain`)
   stops admission (new requests get ``draining``), flushes every
   accepted request, waits for the responses to reach their sockets,
@@ -94,17 +100,29 @@ class ServerConfig:
 
 
 class _Pending:
-    """One admitted scoring request waiting for its flush."""
+    """One admitted scoring or query request waiting for its flush.
 
-    __slots__ = ("request_id", "pairs", "single", "future", "deadline", "admitted_at")
+    ``op is None`` marks a scoring request; otherwise the item is a
+    query-tier cache miss whose kernel build rides the same flush group
+    (continuous batching of kernel builds), answered via
+    :meth:`~repro.serve.engine.Engine.run_query_batch`.
+    """
 
-    def __init__(self, request_id, pairs, single, future, deadline):
+    __slots__ = (
+        "request_id", "pairs", "single", "future", "deadline", "admitted_at",
+        "op", "params",
+    )
+
+    def __init__(self, request_id, pairs, single, future, deadline,
+                 op=None, params=None):
         self.request_id = request_id
         self.pairs = pairs
         self.single = single
         self.future = future
         self.deadline = deadline
         self.admitted_at = time.monotonic()
+        self.op = op
+        self.params = params
 
 
 class LcsServer:
@@ -149,6 +167,8 @@ class LcsServer:
         self.drained = 0
         self.batches = 0
         self.max_occupancy = 0
+        self.query_hits = 0
+        self.query_misses = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -238,7 +258,7 @@ class LcsServer:
 
     async def _serve_one(self, line: bytes, peer_key: str) -> dict:
         """Parse, admit and answer one request line."""
-        from ..errors import RequestRejectedError
+        from ..errors import QueryError, RequestRejectedError
 
         metrics = get_metrics()
         metrics.inc("serve.requests")
@@ -253,14 +273,23 @@ class LcsServer:
         if kind == "metrics":
             text = to_prometheus(metrics.snapshot())
             return ok_response(request_id, content_type="text/plain; version=0.0.4", text=text)
-        if kind not in ("lcs", "batch"):
+        if kind not in ("lcs", "batch", "query"):
             return error_response(
                 request_id, "bad_request", f"unknown request type {kind!r}"
             )
-        try:
-            pairs, single = self._extract_pairs(req)
-        except RequestRejectedError as exc:
-            return error_response(request_id, exc.code, str(exc))
+        op = params = None
+        if kind == "query":
+            metrics.inc("serve.query_requests")
+            try:
+                op, qa, qb, params = self._extract_query(req)
+            except RequestRejectedError as exc:
+                return error_response(request_id, exc.code, str(exc))
+            pairs, single = [(qa, qb)], False
+        else:
+            try:
+                pairs, single = self._extract_pairs(req)
+            except RequestRejectedError as exc:
+                return error_response(request_id, exc.code, str(exc))
         # -- admission control ---------------------------------------
         if self._draining:
             return error_response(
@@ -273,6 +302,26 @@ class LcsServer:
             return error_response(
                 request_id, "quota_exhausted", f"quota exhausted for client {client!r}"
             )
+        # -- query fast path: cached kernels bypass the batcher -------
+        if kind == "query":
+            a, b = pairs[0]
+            if self.engine.query_cached(op, a, b, params):
+                self.query_hits += 1
+                metrics.inc("serve.query_hits")
+                loop = asyncio.get_running_loop()
+                try:
+                    result = await loop.run_in_executor(
+                        self._executor, self.engine.run_query, op, a, b, params
+                    )
+                except QueryError as exc:
+                    return error_response(request_id, "bad_request", str(exc))
+                except Exception as exc:  # noqa: BLE001 — structured error
+                    return error_response(
+                        request_id, "internal", f"query error: {exc}"
+                    )
+                return ok_response(request_id, op=op, result=result)
+            self.query_misses += 1
+            metrics.inc("serve.query_misses")
         deadline = None
         deadline_ms = req.get("deadline_ms", self.config.default_deadline_ms)
         if deadline_ms is not None:
@@ -283,7 +332,9 @@ class LcsServer:
                     request_id, "bad_request", f"invalid deadline_ms {deadline_ms!r}"
                 )
         pending = _Pending(
-            request_id, pairs, single, asyncio.get_running_loop().create_future(), deadline
+            request_id, pairs, single,
+            asyncio.get_running_loop().create_future(), deadline,
+            op=op, params=params,
         )
         try:
             self._queue.put_nowait(pending)
@@ -333,6 +384,77 @@ class LcsServer:
                 code="bad_request",
             )
         return [(a, b) for a, b in raw], False
+
+    @staticmethod
+    def _extract_query(req: dict):
+        """Validate a ``query`` request: catalog op, string pair, and the
+        op's own parameters (strictly — unknown keys are rejected)."""
+        from ..errors import RequestRejectedError
+        from ..query import QUERY_OPS
+
+        op = req.get("op")
+        if op not in QUERY_OPS:
+            raise RequestRejectedError(
+                f"'query' request needs 'op' in {list(QUERY_OPS)}, got {op!r}",
+                code="bad_request",
+            )
+        a, b = req.get("a"), req.get("b")
+        if not isinstance(a, str) or not isinstance(b, str):
+            raise RequestRejectedError(
+                "'query' request needs string fields 'a' and 'b'", code="bad_request"
+            )
+        raw = req.get("params", {})
+        if raw is None:
+            raw = {}
+        if not isinstance(raw, dict):
+            raise RequestRejectedError(
+                "'params' must be a JSON object", code="bad_request"
+            )
+        params = dict(raw)
+        allowed = {
+            "lcs": set(),
+            "all_prefix_scores": set(),
+            "all_suffix_scores": set(),
+            "windowed_lcs": {"window"},
+            "substring_threshold_matches": {"theta", "window"},
+            "append": {"suffix"},
+        }[op]
+        unknown = set(params) - allowed
+        if unknown:
+            raise RequestRejectedError(
+                f"unknown params {sorted(unknown)} for op {op!r}", code="bad_request"
+            )
+        if op == "windowed_lcs":
+            w = params.get("window")
+            if not isinstance(w, int) or isinstance(w, bool) or w <= 0:
+                raise RequestRejectedError(
+                    "'windowed_lcs' needs a positive integer 'window'",
+                    code="bad_request",
+                )
+        elif op == "substring_threshold_matches":
+            theta = params.get("theta")
+            if not isinstance(theta, (int, float)) or isinstance(theta, bool) or not (
+                0.0 < float(theta) <= 1.0
+            ):
+                raise RequestRejectedError(
+                    "'substring_threshold_matches' needs 'theta' in (0, 1]",
+                    code="bad_request",
+                )
+            params["theta"] = float(theta)
+            w = params.get("window")
+            if w is not None and (
+                not isinstance(w, int) or isinstance(w, bool) or w <= 0
+            ):
+                raise RequestRejectedError(
+                    "'window' must be a positive integer when given",
+                    code="bad_request",
+                )
+        elif op == "append":
+            if not isinstance(params.get("suffix"), str):
+                raise RequestRejectedError(
+                    "'append' needs a string 'suffix'", code="bad_request"
+                )
+        return op, a, b, params
 
     # -- continuous batcher ---------------------------------------------
 
@@ -396,10 +518,22 @@ class LcsServer:
                     live.append(p)
             if not live:
                 return
-            flat = [pair for p in live for pair in p.pairs]
+            scoring = [p for p in live if p.op is None]
+            querying = [p for p in live if p.op is not None]
+            flat = [pair for p in scoring for pair in p.pairs]
+            qitems = [(p.op, p.pairs[0][0], p.pairs[0][1], p.params) for p in querying]
+
+            def _work():
+                # one executor hop for the whole group: the scoring
+                # megabatch plus a kernel-build megabatch for the query
+                # misses (each answered individually with fault isolation)
+                scores = self.engine.scores(flat) if flat else []
+                answers = self.engine.run_query_batch(qitems) if qitems else []
+                return scores, answers
+
             loop = asyncio.get_running_loop()
             try:
-                scores = await loop.run_in_executor(self._executor, self.engine.scores, flat)
+                scores, answers = await loop.run_in_executor(self._executor, _work)
             except Exception as exc:  # noqa: BLE001 — engine fault -> structured error
                 for p in live:
                     self._resolve(
@@ -411,13 +545,29 @@ class LcsServer:
             metrics.inc("serve.batches")
             metrics.histogram("serve.batch_occupancy").observe(len(live))
             offset = 0
-            for p in live:
+            for p in scoring:
                 part = [int(s) for s in scores[offset : offset + len(p.pairs)]]
                 offset += len(p.pairs)
                 if p.single:
                     self._resolve(p, ok_response(p.request_id, score=part[0]))
                 else:
                     self._resolve(p, ok_response(p.request_id, scores=part))
+            from ..errors import QueryError
+
+            for p, (result, exc) in zip(querying, answers):
+                if exc is None:
+                    self._resolve(p, ok_response(p.request_id, op=p.op, result=result))
+                elif isinstance(exc, QueryError):
+                    self._resolve(
+                        p, error_response(p.request_id, "bad_request", str(exc))
+                    )
+                else:
+                    self._resolve(
+                        p,
+                        error_response(
+                            p.request_id, "internal", f"query error: {exc}"
+                        ),
+                    )
             self.quotas.evict_idle()
         finally:
             self._flush_sem.release()
@@ -466,6 +616,8 @@ class LcsServer:
             "drained": self.drained,
             "batches": self.batches,
             "max_occupancy": self.max_occupancy,
+            "query_hits": self.query_hits,
+            "query_misses": self.query_misses,
             "queue_depth": self._queue.qsize(),
             "inflight_flushes": len(self._flush_tasks),
         }

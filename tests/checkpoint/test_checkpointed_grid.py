@@ -71,7 +71,7 @@ class TestSerialCheckpointing:
             a, b, 6, checkpoint=GridCheckpointer(store2, compose_min_order=0)
         )
         assert np.array_equal(got, first)
-        assert store2.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "writes": 0}
+        assert store2.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "writes": 0, "evictions": 0}
 
     def test_resume_false_recomputes_everything(self, tmp_path, rng):
         a, b = random_codes(rng, 21), random_codes(rng, 17)

@@ -64,7 +64,7 @@ class TestFusedCheckpointing:
         )
         store2, got = resume(tmp_path, a, b, fuse_rounds=True, fuse_budget=1 << 30)
         assert np.array_equal(got, first)
-        assert store2.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "writes": 0}
+        assert store2.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "writes": 0, "evictions": 0}
 
 
 class TestCrashAcrossFusionBoundary:

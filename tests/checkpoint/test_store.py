@@ -54,7 +54,7 @@ class TestRoundtrip:
         got = store.get(key)
         assert np.array_equal(got, PERM)
         assert got.dtype == np.int64
-        assert store.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "writes": 1}
+        assert store.stats() == {"hits": 1, "misses": 0, "corrupt": 0, "writes": 1, "evictions": 0}
 
     def test_miss_returns_none(self, tmp_path):
         store = KernelStore(tmp_path)
@@ -79,7 +79,7 @@ class TestRoundtrip:
             got = store.get_or_compute(key, compute, algorithm="x", m=2, n=2)
             assert np.array_equal(got, PERM)
         assert len(calls) == 1
-        assert store.stats() == {"hits": 2, "misses": 1, "corrupt": 0, "writes": 1}
+        assert store.stats() == {"hits": 2, "misses": 1, "corrupt": 0, "writes": 1, "evictions": 0}
 
     def test_read_false_skips_lookup_but_persists(self, tmp_path):
         store = KernelStore(tmp_path)

@@ -1,0 +1,57 @@
+"""The query catalog and its generated reference page."""
+
+from repro.query import QUERY_CATALOG, QUERY_OPS, QueryEngine
+
+
+class TestCatalog:
+    def test_rows_are_well_formed(self):
+        assert len(QUERY_CATALOG) >= 6
+        for row in QUERY_CATALOG:
+            assert len(row) == 6
+            assert all(isinstance(field, str) and field for field in row)
+
+    def test_ops_are_unique_and_ordered(self):
+        assert len(set(QUERY_OPS)) == len(QUERY_OPS)
+        assert QUERY_OPS == tuple(row[0] for row in QUERY_CATALOG)
+
+    def test_core_ops_present(self):
+        for op in (
+            "lcs",
+            "windowed_lcs",
+            "all_prefix_scores",
+            "all_suffix_scores",
+            "substring_threshold_matches",
+            "append",
+        ):
+            assert op in QUERY_OPS
+
+    def test_every_op_is_answerable(self):
+        """Dispatch accepts every catalog op (no orphan rows)."""
+        eng = QueryEngine()
+        params = {
+            "windowed_lcs": {"window": 2},
+            "substring_threshold_matches": {"theta": 0.5, "window": 2},
+            "append": {"suffix": "ba"},
+        }
+        for op in QUERY_OPS:
+            result = eng.answer(op, "abab", "baba", **params.get(op, {}))
+            assert result is not None
+
+
+class TestDocsDrift:
+    def test_docs_queries_md_in_sync(self):
+        """docs/queries.md is generated from the catalog; detect drift."""
+        import sys
+        from pathlib import Path
+
+        repo = Path(__file__).resolve().parents[2]
+        sys.path.insert(0, str(repo / "docs"))
+        try:
+            from gen_api import render_queries_md
+        finally:
+            sys.path.pop(0)
+        committed = (repo / "docs" / "queries.md").read_text(encoding="utf-8")
+        assert committed == render_queries_md(), (
+            "docs/queries.md is stale; regenerate with "
+            "`PYTHONPATH=src python docs/gen_api.py --skip-pdoc`"
+        )

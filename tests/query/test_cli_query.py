@@ -1,0 +1,82 @@
+"""The ``repro-lcs query`` subcommand and the gc reclaimed-bytes report."""
+
+import json
+
+from repro.baselines.lcs_dp import lcs_score_dp
+from repro.cli import main
+
+A, B = "dynamicprogramming", "programmingdynamics"
+
+
+class TestQueryCommand:
+    def test_lcs(self, capsys):
+        assert main(["query", "lcs", A, B]) == 0
+        out, err = capsys.readouterr()
+        assert json.loads(out) == lcs_score_dp(A, B)
+        assert "kernel_builds" in err
+
+    def test_repeat_memoizes(self, capsys):
+        assert main(["query", "lcs", A, B, "--repeat", "5"]) == 0
+        _, err = capsys.readouterr()
+        stats = json.loads(err.split("query: ", 1)[1])
+        assert stats["kernel_builds"] == 1
+        assert stats["kernel_hits"] == 4
+
+    def test_windowed(self, capsys):
+        assert main(["query", "windowed_lcs", A, B, "--window", "5"]) == 0
+        out, _ = capsys.readouterr()
+        assert json.loads(out) == [
+            lcs_score_dp(A, B[l : l + 5]) for l in range(len(B) - 4)
+        ]
+
+    def test_threshold_matches(self, capsys):
+        assert main(
+            ["query", "substring_threshold_matches", "abcab", "zzabcabzzabcab",
+             "--theta", "0.8"]
+        ) == 0
+        out, _ = capsys.readouterr()
+        assert json.loads(out) == [[2, 7, 5], [9, 14, 5]]
+
+    def test_append(self, capsys):
+        assert main(["query", "append", A, B, "--suffix", "XYZ"]) == 0
+        out, _ = capsys.readouterr()
+        assert json.loads(out) == lcs_score_dp(A + "XYZ", B)
+
+    def test_missing_required_param_errors(self, capsys):
+        assert main(["query", "windowed_lcs", A, B]) == 2
+        assert "--window" in capsys.readouterr().err
+
+    def test_store_persists_across_invocations(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main(["query", "lcs", A, B, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["query", "lcs", A, B, "--store", store]) == 0
+        _, err = capsys.readouterr()
+        stats = json.loads(err.split("query: ", 1)[1])
+        assert stats["kernel_builds"] == 0
+        assert stats["store"]["hits"] == 1
+
+    def test_store_with_budget_is_cache_mode(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main(
+            ["query", "lcs", A, B, "--store", store, "--max-bytes", "100000"]
+        ) == 0
+        _, err = capsys.readouterr()
+        assert '"evictions": 0' in err
+
+
+class TestGcReport:
+    def test_gc_prints_reclaimed_bytes(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main(["query", "lcs", A, B, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["checkpoint", "gc", store]) == 0
+        out = capsys.readouterr().out
+        assert "reclaimed 0 byte(s)" in out and "1 kept" in out
+
+    def test_gc_dry_run_wording(self, tmp_path, capsys):
+        store = str(tmp_path / "cache")
+        assert main(["query", "lcs", A, B, "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["checkpoint", "gc", store, "--dry-run"]) == 0
+        assert "would reclaim" in capsys.readouterr().out

@@ -1,0 +1,170 @@
+"""QueryEngine: one cached kernel, many queries, two memoization levels."""
+
+import numpy as np
+import pytest
+
+from repro import semilocal_lcs
+from repro.baselines.lcs_dp import lcs_score_dp
+from repro.checkpoint import KernelStore
+from repro.errors import QueryError
+from repro.query import QUERY_ALGORITHM, QueryEngine
+
+A, B = "dynamicprogramming", "programmingdynamics"
+
+
+class TestQueryCorrectness:
+    def test_lcs_matches_dp(self):
+        eng = QueryEngine()
+        assert eng.lcs(A, B) == lcs_score_dp(A, B)
+
+    def test_windowed_lcs_matches_dp(self):
+        eng = QueryEngine()
+        w = 5
+        out = eng.windowed_lcs(A, B, w)
+        assert len(out) == len(B) - w + 1
+        for l, score in enumerate(out):
+            assert score == lcs_score_dp(A, B[l : l + w])
+
+    def test_all_prefix_scores_match_dp(self):
+        eng = QueryEngine()
+        out = eng.all_prefix_scores(A, B)
+        assert [int(s) for s in out] == [
+            lcs_score_dp(A, B[:r]) for r in range(len(B) + 1)
+        ]
+
+    def test_all_suffix_scores_match_dp(self):
+        eng = QueryEngine()
+        out = eng.all_suffix_scores(A, B)
+        assert [int(s) for s in out] == [
+            lcs_score_dp(A, B[l:]) for l in range(len(B) + 1)
+        ]
+
+    def test_threshold_matches_against_find_matches(self):
+        from repro.apps.approximate_matching import find_matches
+
+        eng = QueryEngine()
+        got = eng.substring_threshold_matches("abcab", "zzabcabzzabcab", 0.8)
+        want = [
+            (m.start, m.end, m.score)
+            for m in find_matches("abcab", "zzabcabzzabcab", 4, window=5)
+        ]
+        assert got == want and got
+
+    def test_window_validation(self):
+        eng = QueryEngine()
+        with pytest.raises(QueryError):
+            eng.windowed_lcs(A, B, 0)
+        with pytest.raises(QueryError):
+            eng.windowed_lcs(A, B, len(B) + 1)
+        with pytest.raises(QueryError):
+            eng.substring_threshold_matches(A, B, 1.5)
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(QueryError, match="unknown query op"):
+            QueryEngine().answer("frobnicate", "a", "b")
+
+
+class TestMemoization:
+    def test_one_kernel_serves_many_ops(self):
+        """The acceptance-criterion shape: >= 4 query types, one build."""
+        eng = QueryEngine()
+        eng.lcs(A, B)
+        eng.windowed_lcs(A, B, 4)
+        eng.all_prefix_scores(A, B)
+        eng.all_suffix_scores(A, B)
+        eng.substring_threshold_matches(A, B, 0.5, window=6)
+        assert eng.kernel_builds == 1
+        assert eng.kernel_misses == 1
+        assert eng.kernel_hits == 4
+        assert eng.hit_rate == pytest.approx(0.8)
+
+    def test_memory_lru_caps_live_kernels(self):
+        eng = QueryEngine(max_kernels=2)
+        for i in range(5):
+            eng.lcs("ab" * (i + 1), B)
+        assert len(eng._mem) == 2
+        # most recent pair is still a hit
+        hits = eng.kernel_hits
+        eng.lcs("ab" * 5, B)
+        assert eng.kernel_hits == hits + 1
+
+    def test_store_shared_across_engines(self, tmp_path):
+        store = KernelStore(tmp_path / "cache")
+        eng1 = QueryEngine(store=store)
+        eng1.lcs(A, B)
+        eng2 = QueryEngine(store=KernelStore(tmp_path / "cache"))
+        assert eng2.cached(A, B)
+        assert eng2.lcs(A, B) == lcs_score_dp(A, B)
+        assert eng2.kernel_builds == 0
+        assert eng2.kernel_hits == 1
+
+    def test_corrupt_store_entry_is_rebuilt(self, tmp_path):
+        store = KernelStore(tmp_path / "cache")
+        eng = QueryEngine(store=store)
+        eng.lcs(A, B)
+        key = eng.key_of(A, B)
+        # flip bytes in the payload behind the store's back
+        payload = store._payload_path(key)
+        payload.write_bytes(b"garbage" * 10)
+        fresh = QueryEngine(store=KernelStore(tmp_path / "cache"))
+        assert fresh.lcs(A, B) == lcs_score_dp(A, B)
+        assert fresh.kernel_builds == 1
+
+    def test_install_kernel_adopts_external_build(self):
+        eng = QueryEngine()
+        perm = semilocal_lcs(A, B).kernel
+        eng.install_kernel(A, B, perm)
+        assert eng.cached(A, B)
+        assert eng.lcs(A, B) == lcs_score_dp(A, B)
+        assert eng.kernel_builds == 0
+
+    def test_max_kernels_validation(self):
+        with pytest.raises(QueryError):
+            QueryEngine(max_kernels=0)
+
+
+class TestAppend:
+    def test_append_equals_from_scratch(self):
+        eng = QueryEngine()
+        composite = eng.append(A, "XYZing", B)
+        scratch = semilocal_lcs(A + "XYZing", B)
+        np.testing.assert_array_equal(composite.kernel, scratch.kernel)
+        assert eng.appends == 1
+
+    def test_append_caches_extended_pair(self):
+        eng = QueryEngine()
+        eng.append(A, "XYZ", B)
+        assert eng.cached(A + "XYZ", B)
+        builds = eng.kernel_builds
+        assert eng.lcs(A + "XYZ", B) == lcs_score_dp(A + "XYZ", B)
+        assert eng.kernel_builds == builds  # plain hit, no recomb
+
+    def test_empty_suffix_is_base_kernel(self):
+        eng = QueryEngine()
+        assert eng.append(A, "", B).lcs_whole() == lcs_score_dp(A, B)
+        assert eng.appends == 0
+
+    def test_answer_append_returns_score(self):
+        eng = QueryEngine()
+        got = eng.answer("append", A, B, suffix="XYZ")
+        assert got == lcs_score_dp(A + "XYZ", B)
+
+
+class TestStats:
+    def test_stats_document(self, tmp_path):
+        eng = QueryEngine(store=KernelStore(tmp_path / "c"))
+        eng.lcs(A, B)
+        eng.lcs(A, B)
+        doc = eng.stats()
+        assert doc["requests"] == 2
+        assert doc["kernel_builds"] == 1
+        assert doc["memory_kernels"] == 1
+        assert 0.0 <= doc["hit_rate"] <= 1.0
+        assert "store" in doc and doc["store"]["writes"] == 1
+
+    def test_store_label_is_canonical(self, tmp_path):
+        store = KernelStore(tmp_path / "c")
+        eng = QueryEngine(store=store)
+        eng.lcs(A, B)
+        (manifest,) = list(store.entries())
+        assert manifest["algorithm"] == QUERY_ALGORITHM

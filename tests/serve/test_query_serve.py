@@ -1,0 +1,250 @@
+"""The daemon's query tier: hits bypass the batcher, misses batch their
+kernel builds, parameters are validated, health exposes the cache."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.baselines.lcs_dp import lcs_score_dp
+from repro.serve import Engine, ServeClient, ServerConfig
+
+from .test_server import _request, _start, running_server
+
+A, B = "dynamicprogramming", "programmingdynamics"
+
+
+class TestQueryRoundTrips:
+    def test_all_ops_round_trip(self):
+        async def main():
+            server = await _start(ServerConfig(port=0, max_wait_ms=1.0))
+            try:
+                out = {}
+                out["lcs"] = await _request(
+                    server.port, {"type": "query", "op": "lcs", "a": A, "b": B}
+                )
+                out["windowed"] = await _request(
+                    server.port,
+                    {"type": "query", "op": "windowed_lcs", "a": A, "b": B,
+                     "params": {"window": 5}},
+                )
+                out["prefix"] = await _request(
+                    server.port,
+                    {"type": "query", "op": "all_prefix_scores", "a": A, "b": B},
+                )
+                out["suffix"] = await _request(
+                    server.port,
+                    {"type": "query", "op": "all_suffix_scores", "a": A, "b": B},
+                )
+                out["matches"] = await _request(
+                    server.port,
+                    {"type": "query", "op": "substring_threshold_matches",
+                     "a": A, "b": B, "params": {"theta": 0.5, "window": 6}},
+                )
+                out["append"] = await _request(
+                    server.port,
+                    {"type": "query", "op": "append", "a": A, "b": B,
+                     "params": {"suffix": "XYZ"}},
+                )
+            finally:
+                await server.aclose()
+            return out, server
+
+        out, server = asyncio.run(main())
+        assert all(r["ok"] for r in out.values())
+        assert out["lcs"]["result"] == lcs_score_dp(A, B)
+        assert out["windowed"]["result"] == [
+            lcs_score_dp(A, B[l : l + 5]) for l in range(len(B) - 4)
+        ]
+        assert out["prefix"]["result"][-1] == lcs_score_dp(A, B)
+        assert out["suffix"]["result"][0] == lcs_score_dp(A, B)
+        assert out["append"]["result"] == lcs_score_dp(A + "XYZ", B)
+        # first query missed, the rest hit the cached kernel inline
+        assert server.query_misses == 1
+        assert server.query_hits == 5
+        assert server.engine.queries_served == 6
+
+    def test_miss_builds_ride_the_scheduler(self):
+        """A cache-miss query gets its kernel from the flush group's
+        megabatch (scheduler), not a private in-engine combing."""
+        async def main():
+            server = await _start(ServerConfig(port=0, max_wait_ms=1.0))
+            try:
+                resp = await _request(
+                    server.port, {"type": "query", "op": "lcs", "a": A, "b": B}
+                )
+            finally:
+                await server.aclose()
+            return resp, server
+
+        resp, server = asyncio.run(main())
+        assert resp["ok"] and resp["result"] == lcs_score_dp(A, B)
+        assert server.engine.query.kernel_builds == 0  # scheduler built it
+        assert server.engine.query.cached(A, B)
+
+    def test_mixed_scoring_and_query_flush(self):
+        """Scoring and query misses coalesce in one flush group."""
+        async def main():
+            server = await _start(ServerConfig(port=0, max_wait_ms=150.0))
+            try:
+                responses = await asyncio.gather(
+                    _request(server.port, {"id": 0, "type": "lcs", "a": A, "b": B}),
+                    _request(
+                        server.port,
+                        {"id": 1, "type": "query", "op": "lcs", "a": B, "b": A},
+                    ),
+                    _request(
+                        server.port,
+                        {"id": 2, "type": "query", "op": "all_prefix_scores",
+                         "a": A + "Q", "b": B},
+                    ),
+                )
+            finally:
+                await server.aclose()
+            return responses, server
+
+        responses, server = asyncio.run(main())
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[0]["score"] == lcs_score_dp(A, B)
+        assert by_id[1]["result"] == lcs_score_dp(B, A)
+        assert by_id[2]["result"][-1] == lcs_score_dp(A + "Q", B)
+        assert all(r["ok"] for r in responses)
+
+    def test_client_helper(self):
+        with running_server(ServerConfig(port=0, max_wait_ms=1.0)) as server:
+            with ServeClient(port=server.port) as client:
+                assert client.query("lcs", A, B) == lcs_score_dp(A, B)
+                out = client.query("windowed_lcs", A, B, window=4)
+                assert out == [
+                    lcs_score_dp(A, B[l : l + 4]) for l in range(len(B) - 3)
+                ]
+                assert client.query("append", A, B, suffix="XY") == lcs_score_dp(
+                    A + "XY", B
+                )
+                health = client.health()
+        assert health["engine"]["query"]["requests"] >= 3
+        assert health["server"]["query_hits"] + health["server"]["query_misses"] >= 3
+
+
+class TestQueryValidation:
+    def _reject(self, req, match):
+        async def main():
+            server = await _start(ServerConfig(port=0, max_wait_ms=1.0))
+            try:
+                resp = await _request(server.port, {"type": "query", **req})
+            finally:
+                await server.aclose()
+            return resp
+
+        resp = asyncio.run(main())
+        assert not resp["ok"]
+        assert resp["error"]["code"] == "bad_request"
+        assert match in resp["error"]["message"]
+
+    def test_unknown_op(self):
+        self._reject({"op": "frobnicate", "a": "x", "b": "y"}, "op")
+
+    def test_missing_strings(self):
+        self._reject({"op": "lcs", "a": 5, "b": "y"}, "string fields")
+
+    def test_bad_params_container(self):
+        self._reject({"op": "lcs", "a": "x", "b": "y", "params": [1]}, "JSON object")
+
+    def test_unknown_param_key(self):
+        self._reject(
+            {"op": "lcs", "a": "x", "b": "y", "params": {"window": 3}},
+            "unknown params",
+        )
+
+    def test_bad_window(self):
+        self._reject(
+            {"op": "windowed_lcs", "a": "x", "b": "y", "params": {"window": 0}},
+            "positive integer",
+        )
+
+    def test_bad_theta(self):
+        self._reject(
+            {"op": "substring_threshold_matches", "a": "x", "b": "y",
+             "params": {"theta": 2.0}},
+            "theta",
+        )
+
+    def test_missing_suffix(self):
+        self._reject({"op": "append", "a": "x", "b": "y"}, "suffix")
+
+    def test_window_larger_than_b_is_structured_error(self):
+        """Semantically-invalid params that pass shape validation come
+        back as bad_request from the engine's QueryError, not a hang."""
+        async def main():
+            server = await _start(ServerConfig(port=0, max_wait_ms=1.0))
+            try:
+                # miss path first (batched), then hit path (inline)
+                miss = await _request(
+                    server.port,
+                    {"type": "query", "op": "windowed_lcs", "a": A, "b": B,
+                     "params": {"window": len(B) + 7}},
+                )
+                hit = await _request(
+                    server.port,
+                    {"type": "query", "op": "windowed_lcs", "a": A, "b": B,
+                     "params": {"window": len(B) + 7}},
+                )
+            finally:
+                await server.aclose()
+            return miss, hit
+
+        miss, hit = asyncio.run(main())
+        for resp in (miss, hit):
+            assert not resp["ok"]
+            assert resp["error"]["code"] == "bad_request"
+
+    def test_draining_rejects_queries(self):
+        from .test_server import _GatedEngine
+
+        engine = _GatedEngine(backend="none")
+
+        async def main():
+            server = await _start(ServerConfig(port=0, max_wait_ms=50.0), engine)
+            inflight = asyncio.create_task(
+                _request(server.port, {"type": "lcs", "a": "abacus", "b": "cabbage"})
+            )
+            await asyncio.sleep(0.2)  # admitted; flush gated, server alive
+            server.request_drain()
+            refused = await _request(
+                server.port, {"type": "query", "op": "lcs", "a": "x", "b": "y"}
+            )
+            engine.gate.set()
+            await inflight
+            await asyncio.wait_for(server.serve_forever(), timeout=30)
+            return refused
+
+        resp = asyncio.run(main())
+        assert not resp["ok"] and resp["error"]["code"] == "draining"
+
+
+class TestQueryStorePersistence:
+    def test_kernels_survive_daemon_restart(self, tmp_path):
+        cache = str(tmp_path / "qcache")
+
+        def serve_once():
+            async def main():
+                engine = Engine(backend="none", query_store_dir=cache)
+                server = await _start(
+                    ServerConfig(port=0, max_wait_ms=1.0), engine
+                )
+                try:
+                    resp = await _request(
+                        server.port,
+                        {"type": "query", "op": "lcs", "a": A, "b": B},
+                    )
+                finally:
+                    await server.aclose()
+                return resp, server
+
+            return asyncio.run(main())
+
+        first_resp, first_server = serve_once()
+        second_resp, second_server = serve_once()
+        assert first_resp["result"] == second_resp["result"] == lcs_score_dp(A, B)
+        assert first_server.query_misses == 1 and first_server.query_hits == 0
+        # the second daemon finds the kernel on disk: a hit, no build
+        assert second_server.query_hits == 1 and second_server.query_misses == 0
