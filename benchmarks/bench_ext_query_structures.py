@@ -53,19 +53,35 @@ def test_query_throughput(benchmark, name, perm, queries):
     benchmark.pedantic(run, rounds=2, iterations=1)
 
 
+@pytest.mark.parametrize("name", list(STRUCTURES), ids=str)
+def test_batched_query_throughput(benchmark, name, perm, queries):
+    """Same 2000 probes as a single vectorized ``count_many`` call."""
+    counter = STRUCTURES[name](perm)
+    i_arr = np.ascontiguousarray(queries[:, 0])
+    j_arr = np.ascontiguousarray(queries[:, 1])
+
+    benchmark.group = "query structures: 2000 queries, one count_many batch"
+    benchmark.pedantic(
+        lambda: counter.count_many(i_arr, j_arr), rounds=2, iterations=1
+    )
+
+
 def test_query_structures_table(benchmark, print_table, perm, queries):
     def build():
         table = BenchTable(
             f"Extension: query structures, kernel order {perm.size}",
-            ["structure", "build_s", "query_2000_s", "all_agree"],
+            ["structure", "build_s", "query_2000_s", "batched_2000_s", "all_agree"],
         )
         counters = {}
         builds = {}
         for name, cls in STRUCTURES.items():
             builds[name] = time_call(lambda cls=cls: cls(perm), repeats=1)
             counters[name] = cls(perm)
+        i_arr = np.ascontiguousarray(queries[:, 0])
+        j_arr = np.ascontiguousarray(queries[:, 1])
         results = {
             name: [c.count(int(i), int(j)) for i, j in queries[:200]]
+            + list(c.count_many(i_arr, j_arr))
             for name, c in counters.items()
         }
         agree = len({tuple(v) for v in results.values()}) == 1
@@ -73,9 +89,12 @@ def test_query_structures_table(benchmark, print_table, perm, queries):
             q_time = time_call(
                 lambda c=c: [c.count(int(i), int(j)) for i, j in queries], repeats=1
             )
-            table.add(name, builds[name], q_time, agree)
+            batched_time = time_call(
+                lambda c=c: c.count_many(i_arr, j_arr), repeats=1
+            )
+            table.add(name, builds[name], q_time, batched_time, agree)
         return table
 
     table = benchmark.pedantic(build, rounds=1, iterations=1)
     print_table(table)
-    assert all(row[3] for row in table.rows)
+    assert all(row[4] for row in table.rows)

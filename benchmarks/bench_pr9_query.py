@@ -12,7 +12,12 @@ Measures, at each size (random 4-symbol strings):
 - ``append_s`` vs ``recomb_s`` — extending the pair by a short suffix via
   Theorem 3.4 composition against recombing ``a + suffix`` whole;
 - ``store_hit_s`` — a second engine fetching the kernel from an on-disk
-  :class:`~repro.checkpoint.store.KernelStore` instead of combing.
+  :class:`~repro.checkpoint.store.KernelStore` instead of combing;
+- the ``probes`` section — the batched-probe claim: the
+  ``all_prefix_scores`` probe set (n + 1 dominance counts on one kernel)
+  answered by one vectorized ``WaveletCounter.count_many`` descent vs a
+  Python loop of scalar merge-sort-tree ``count`` calls, outputs
+  verified against the brute-force DP table.
 
 Usage::
 
@@ -21,7 +26,9 @@ Usage::
 
 ``--check`` exits non-zero unless, at the largest size, a cached ``lcs``
 query is >= 20x faster than the cold kernel build (the one-kernel /
-many-queries claim) and the Theorem 3.4 append beats the full recomb.
+many-queries claim), the Theorem 3.4 append beats the full recomb, and
+the batched wavelet probe beats the scalar merge-tree loop by >= 10x
+with DP-verified outputs.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from common import add_quick_flag, apply_quick, commit_hash  # noqa: E402
 
 GATE_X = 20.0  # cached lcs query must beat the cold build by this factor
+PROBE_GATE_X = 10.0  # batched wavelet probe vs scalar merge-tree loop
+PROBE_N = 8192  # string length of the batched-probe measurement
 
 
 def _strings(n: int, seed: int = 2021):
@@ -138,6 +147,54 @@ def measure_size(n: int, repeats: int) -> dict:
     }
 
 
+def measure_probes(n: int, repeats: int) -> dict:
+    """Batched vs scalar dominance probing on the ``all_prefix_scores``
+    probe set: ``i = m`` fixed, ``j = 0..n`` — one ``count_many`` descent
+    carrying all n + 1 queries against a Python loop of scalar
+    merge-sort-tree descents, outputs checked against the DP table."""
+    import numpy as np
+
+    from repro.baselines.lcs_dp import lcs_table
+    from repro.core.dominance import DominanceCounter, WaveletCounter
+    from repro.query import QueryEngine
+
+    a, b = _strings(n)
+    kern = QueryEngine().kernel(a, b)
+    m = kern.m
+    tree = DominanceCounter(kern.kernel)
+    wavelet = WaveletCounter(kern.kernel)
+    js = np.arange(n + 1, dtype=np.int64)
+    is_ = np.full_like(js, m)
+
+    def scalar_loop():
+        return [tree.count(m, int(j)) for j in js]
+
+    def batched():
+        return wavelet.count_many(is_, js)
+
+    # all three probe paths must turn into the same DP-verified scores
+    prefix_scores = (js + m - is_) - np.asarray(batched())
+    dp_scores = lcs_table(a, b)[-1, :]
+    verified = (
+        np.array_equal(prefix_scores, dp_scores)
+        and np.array_equal(np.asarray(batched()), np.asarray(scalar_loop()))
+    )
+
+    scalar_s = _best(scalar_loop, repeats)
+    batched_s = _best(batched, repeats)
+    tree_batched_s = _best(lambda: tree.count_many(is_, js), repeats)
+    return {
+        "n": n,
+        "probes": int(js.size),
+        "verified": bool(verified),
+        "scalar_tree_loop_s": round(scalar_s, 6),
+        "wavelet_count_many_s": round(batched_s, 6),
+        "tree_count_many_s": round(tree_batched_s, 6),
+        "wavelet_batched_speedup_x": round(scalar_s / batched_s, 1),
+        "tree_batched_speedup_x": round(scalar_s / tree_batched_s, 1),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--sizes", type=int, nargs="+", default=[1024, 4096])
@@ -147,13 +204,19 @@ def main(argv: list[str] | None = None) -> int:
         "--check",
         action="store_true",
         help=f"fail unless cached lcs >= {GATE_X:.0f}x the cold build at the "
-             "largest size, and append beats the recomb",
+             "largest size, append beats the recomb, and the batched wavelet "
+             f"probe beats the scalar merge-tree loop by >= {PROBE_GATE_X:.0f}x",
     )
-    add_quick_flag(parser, sizes=[1024], repeats=2)
+    parser.add_argument(
+        "--probe-n", type=int, default=PROBE_N,
+        help=f"string length of the batched-probe section (default: {PROBE_N})",
+    )
+    add_quick_flag(parser, sizes=[1024], repeats=2, probe_n=2048)
     args = parser.parse_args(argv)
     apply_quick(args)
 
     runs = [measure_size(n, args.repeats) for n in args.sizes]
+    probes = measure_probes(args.probe_n, args.repeats)
     for rec in runs:
         print(
             f"n={rec['n']:6d} build {rec['build_s'] * 1000:8.2f} ms | "
@@ -162,11 +225,21 @@ def main(argv: list[str] | None = None) -> int:
             f"append {rec['append_speedup_x']}x recomb | "
             f"store hit {rec['store_hit_speedup_x']}x build"
         )
+    print(
+        f"probes n={probes['n']:6d} ({probes['probes']} counts): scalar tree loop "
+        f"{probes['scalar_tree_loop_s'] * 1000:.2f} ms | wavelet count_many "
+        f"{probes['wavelet_count_many_s'] * 1000:.2f} ms "
+        f"({probes['wavelet_batched_speedup_x']}x) | tree count_many "
+        f"{probes['tree_count_many_s'] * 1000:.2f} ms "
+        f"({probes['tree_batched_speedup_x']}x)"
+    )
 
     doc = {
         "schema": "repro-bench-query/1",
         "commit": commit_hash(),
         "gate_x": GATE_X,
+        "probe_gate_x": PROBE_GATE_X,
+        "probes": probes,
         "runs": runs,
     }
     with open(args.out, "w") as fh:
@@ -190,6 +263,16 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"CHECK FAILED: n={top['n']} append "
                 f"{top['append_speedup_x']}x slower than recomb"
+            )
+            failed = True
+        if not probes["verified"]:
+            print("CHECK FAILED: batched probe outputs disagreed with the DP table")
+            failed = True
+        if probes["wavelet_batched_speedup_x"] < PROBE_GATE_X:
+            print(
+                f"CHECK FAILED: n={probes['n']} batched wavelet probe "
+                f"{probes['wavelet_batched_speedup_x']}x < {PROBE_GATE_X}x "
+                "scalar merge-tree loop"
             )
             failed = True
         return 1 if failed else 0

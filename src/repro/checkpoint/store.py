@@ -32,12 +32,24 @@ and pinned artifacts (:meth:`pin`, used for run checkpoints that must
 survive) are never evicted. Evictions count in ``store.evictions`` and
 the running hit rate is exported as the ``store.hit_rate`` gauge.
 
+**Counter sidecars** (the query tier's probe structures): :meth:`put`
+optionally persists the pair's *built* dominance counter
+(:func:`repro.core.dominance.counter_to_bytes`, a versioned payload)
+next to the permutation, and :meth:`get_with_counter` returns it with
+the kernel — so a disk cache hit skips the O(n log n) counter
+construction, not just the comb. The sidecar is referenced (and
+sha256-pinned) by the manifest when present; artifacts written before
+counters existed simply lack the reference and still load. A sidecar
+that fails verification is dropped (the caller rebuilds the counter) —
+never trusted, never fatal to the verified permutation next to it.
+
 Layout under the store root::
 
-    objects/<key[:2]>/<key>.perm    raw little-endian int64 kernel
-    objects/<key[:2]>/<key>.json    manifest (see MANIFEST_FIELDS)
-    pins/<key>.pin                  pin markers (excluded from eviction/gc)
-    runs/<run_id>.jsonl             run journals (repro.checkpoint.journal)
+    objects/<key[:2]>/<key>.perm     raw little-endian int64 kernel
+    objects/<key[:2]>/<key>.counter  optional built dominance counter
+    objects/<key[:2]>/<key>.json     manifest (see MANIFEST_FIELDS)
+    pins/<key>.pin                   pin markers (excluded from eviction/gc)
+    runs/<run_id>.jsonl              run journals (repro.checkpoint.journal)
 """
 
 from __future__ import annotations
@@ -61,7 +73,9 @@ from ..types import PermArray
 #: format change).
 STORE_VERSION = 1
 
-#: Manifest keys every valid artifact carries.
+#: Manifest keys every valid artifact carries. Counter sidecars add the
+#: *optional* ``counter_sha256`` key — optional so artifacts written
+#: before sidecars existed keep loading unchanged.
 MANIFEST_FIELDS = (
     "format", "key", "algorithm", "m", "n", "order", "sha256", "created",
     "manifest_sha256",
@@ -179,6 +193,9 @@ class KernelStore:
     def _manifest_path(self, key: str) -> Path:
         return self.objects / key[:2] / f"{key}.json"
 
+    def _counter_path(self, key: str) -> Path:
+        return self.objects / key[:2] / f"{key}.counter"
+
     def journal_path(self, run_id: str):
         """Path of the run journal named *run_id* under ``runs/``."""
         return self.runs / f"{run_id}.jsonl"
@@ -203,7 +220,11 @@ class KernelStore:
 
     def _artifact_bytes(self, key: str) -> int:
         total = 0
-        for path in (self._payload_path(key), self._manifest_path(key)):
+        for path in (
+            self._payload_path(key),
+            self._counter_path(key),
+            self._manifest_path(key),
+        ):
             try:
                 total += path.stat().st_size
             except OSError:
@@ -267,11 +288,28 @@ class KernelStore:
 
     # -- write ---------------------------------------------------------
 
-    def put(self, key: str, perm: PermArray, *, algorithm: str, m: int, n: int) -> None:
-        """Persist *perm* under *key*. Payload first, manifest last — the
-        manifest is the commit marker, so a crash between the two writes
-        leaves an orphan payload that reads as a miss, not corruption.
-        Idempotent: re-putting a key rewrites identical content."""
+    def put(
+        self,
+        key: str,
+        perm: PermArray,
+        *,
+        algorithm: str,
+        m: int,
+        n: int,
+        counter: bytes | None = None,
+    ) -> None:
+        """Persist *perm* under *key*. Payload (and counter sidecar)
+        first, manifest last — the manifest is the commit marker, so a
+        crash between the writes leaves ignorable orphans that read as a
+        miss, not corruption. Idempotent: re-putting a key rewrites
+        identical content.
+
+        *counter* is an optional serialized dominance counter
+        (:func:`repro.core.dominance.counter_to_bytes`); when given it is
+        committed as a sha256-pinned sidecar so
+        :meth:`get_with_counter` hits skip the counter rebuild. A put
+        without a counter removes any stale sidecar from an earlier put.
+        """
         perm = np.asarray(perm)
         if perm.size != m + n:
             raise CheckpointError(f"kernel order {perm.size} != m+n = {m + n}")
@@ -286,9 +324,15 @@ class KernelStore:
             "sha256": _sha256_hex(payload),
             "created": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         }
+        if counter is not None:
+            manifest["counter_sha256"] = _sha256_hex(counter)
         manifest["manifest_sha256"] = _manifest_digest(manifest)
         self._payload_path(key).parent.mkdir(parents=True, exist_ok=True)
         _atomic_write(self._payload_path(key), payload)
+        if counter is not None:
+            _atomic_write(self._counter_path(key), counter)
+        else:
+            self._counter_path(key).unlink(missing_ok=True)
         _atomic_write(self._manifest_path(key), json.dumps(manifest, sort_keys=True).encode("ascii"))
         with self._lock:
             self.writes += 1
@@ -372,6 +416,36 @@ class KernelStore:
         self._export_hit_rate()
         return perm
 
+    def get_with_counter(self, key: str) -> tuple[PermArray | None, bytes | None]:
+        """Like :meth:`get`, plus the counter sidecar when one is both
+        referenced by the manifest and passes its sha256 check.
+
+        Returns ``(perm, counter_bytes)``; the counter slot is ``None``
+        on a miss, for pre-sidecar artifacts, or when the sidecar is
+        missing/corrupt — sidecar failure is never fatal to the verified
+        permutation next to it (the caller just rebuilds the counter).
+        """
+        perm = self.get(key)
+        if perm is None:
+            return None, None
+        try:
+            manifest = self._load_manifest(key)
+        except CheckpointCorruptionError:  # pragma: no cover - raced
+            return perm, None
+        expected = manifest.get("counter_sha256")
+        if not expected:
+            return perm, None
+        try:
+            data = self._counter_path(key).read_bytes()
+        except OSError:
+            return perm, None
+        if _sha256_hex(data) != expected:
+            with self._lock:
+                self.corrupt += 1
+            _metric_inc("checkpoint.corrupt", 1)
+            return perm, None
+        return perm, data
+
     def _export_hit_rate(self) -> None:
         _get_metrics().gauge("store.hit_rate").set(self.hit_rate)
 
@@ -410,7 +484,11 @@ class KernelStore:
         double discard — or a gc racing another gc — reports honestly).
         """
         freed = 0
-        for path in (self._manifest_path(key), self._payload_path(key)):
+        for path in (
+            self._manifest_path(key),
+            self._payload_path(key),
+            self._counter_path(key),
+        ):
             try:
                 size = path.stat().st_size
                 path.unlink()
@@ -469,6 +547,9 @@ class KernelStore:
             for payload in sorted(self.objects.glob("*/*.perm")):
                 if payload.stem not in report:
                     report[payload.stem] = "orphan: payload without manifest"
+            for sidecar in sorted(self.objects.glob("*/*.counter")):
+                if sidecar.stem not in report:
+                    report[sidecar.stem] = "orphan: counter without manifest"
         return report
 
     def gc(self, *, max_age_days: float | None = None, dry_run: bool = False) -> dict:

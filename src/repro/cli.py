@@ -424,6 +424,7 @@ def _cmd_serve(args) -> int:
         query_store_dir=args.query_store,
         query_max_bytes=args.query_max_bytes,
         query_max_kernels=args.query_max_kernels,
+        query_counter_kind=args.query_counter_kind,
     )
     config = ServerConfig(
         host=args.host,
@@ -524,6 +525,10 @@ def _query_params(op: str, args) -> dict:
         if args.suffix is None:
             raise ReproError("'append' needs --suffix")
         params["suffix"] = args.suffix
+    elif op == "prepend":
+        if args.prefix is None:
+            raise ReproError("'prepend' needs --prefix")
+        params["prefix"] = args.prefix
     return params
 
 
@@ -537,7 +542,9 @@ def _cmd_query(args) -> int:
         from .checkpoint import KernelStore
 
         store = KernelStore(args.store, max_bytes=args.max_bytes)
-    engine = QueryEngine(store=store, max_kernels=args.max_kernels)
+    engine = QueryEngine(
+        store=store, max_kernels=args.max_kernels, counter_kind=args.counter_kind
+    )
     params = _query_params(args.op, args)
     result = None
     for _ in range(max(1, args.repeat)):
@@ -1000,6 +1007,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="LRU byte budget of --query-store (default: unbounded)")
     g.add_argument("--query-max-kernels", type=int, default=64, metavar="N",
                    help="in-memory LRU capacity in live kernels (default: 64)")
+    from .core.dominance import COUNTER_KINDS as _COUNTER_KINDS
+
+    g.add_argument("--query-counter-kind", default=None, metavar="KIND",
+                   choices=list(_COUNTER_KINDS),
+                   help="force the query tier's dominance-counting structure "
+                        f"(KIND in {{{', '.join(_COUNTER_KINDS)}}}; "
+                        "default: size-based)")
     p.set_defaults(fn=_cmd_serve)
 
     p = sub.add_parser(
@@ -1033,6 +1047,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="--query substring_threshold_matches threshold in (0, 1]")
     p.add_argument("--suffix", default=None, metavar="S",
                    help="--query append suffix string")
+    p.add_argument("--prefix", default=None, metavar="S",
+                   help="--query prepend prefix string")
     p.set_defaults(fn=_cmd_client)
 
     p = sub.add_parser(
@@ -1054,6 +1070,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--theta", type=float, default=None, metavar="T",
                    help="substring_threshold_matches threshold in (0, 1]")
     p.add_argument("--suffix", default=None, metavar="S", help="append suffix string")
+    p.add_argument("--prefix", default=None, metavar="S", help="prepend prefix string")
     p.add_argument("--store", metavar="DIR", default=None,
                    help="back the engine with an on-disk kernel store in DIR")
     p.add_argument("--max-bytes", type=int, default=None, metavar="BYTES",
@@ -1062,6 +1079,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="in-memory LRU capacity in live kernels (default: 64)")
     p.add_argument("--repeat", type=int, default=1, metavar="K",
                    help="answer the op K times (demonstrates memoization)")
+    p.add_argument("--counter-kind", default=None, metavar="KIND",
+                   choices=list(_COUNTER_KINDS),
+                   help="force the dominance-counting structure "
+                        f"(KIND in {{{', '.join(_COUNTER_KINDS)}}}; "
+                        "default: size-based)")
     p.set_defaults(fn=_cmd_query)
 
     p = sub.add_parser(

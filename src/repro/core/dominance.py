@@ -18,20 +18,79 @@ structures [5, 6, 13]. This module implements:
   O(n^2) construction and memory, O(1) queries. Used for small kernels
   and as the oracle for the others.
 
-All share the :meth:`count` interface consumed by
-:class:`repro.core.kernel.SemiLocalKernel`; pick explicitly with
-:func:`make_counter`'s ``kind`` argument.
+All share the same two-method interface consumed by
+:class:`repro.core.kernel.SemiLocalKernel`:
+
+- ``count(i, j)`` — one scalar probe;
+- ``count_many(i_arr, j_arr)`` — a *batched* probe carrying every query
+  through the structure at once. For the wavelet matrix this is one
+  vectorized level descent (O(log n) levels of O(k) NumPy work for k
+  queries); for the merge-sort tree it is a batched canonical-block
+  decomposition costing one ``np.searchsorted`` per level. Array-valued
+  score queries (all-prefix, all-suffix, windowed LCS) reduce to one
+  ``count_many`` call instead of k Python descents.
+
+Pick explicitly with :func:`make_counter`'s ``kind`` argument (or the
+``REPRO_COUNTER`` environment variable); the size-based default is the
+dense table up to ``dense_threshold`` and the wavelet matrix beyond —
+the merge-sort tree stays available for comparison
+(``benchmarks/bench_ext_query_structures.py`` records why wavelet wins).
+
+Built counters serialize (:func:`counter_to_bytes` /
+:func:`counter_from_bytes`, versioned header) so a
+:class:`~repro.checkpoint.store.KernelStore` can persist the *built*
+levels alongside the kernel permutation and a disk cache hit skips the
+O(n log n) counter construction, not just the comb.
 """
 
 from __future__ import annotations
+
+import os
+import struct
 
 import numpy as np
 
 from ..types import PermArray
 
+__all__ = [
+    "COUNTER_FORMAT",
+    "COUNTER_KINDS",
+    "DenseCounter",
+    "DominanceCounter",
+    "WaveletCounter",
+    "counter_from_bytes",
+    "counter_to_bytes",
+    "make_counter",
+    "resolve_counter_kind",
+]
+
+#: Environment variable overriding :func:`make_counter`'s size-based
+#: default (one of :data:`COUNTER_KINDS`); an explicit ``kind=`` wins.
+COUNTER_ENV = "REPRO_COUNTER"
+
+#: Version tag of the :func:`counter_to_bytes` payload; bump to
+#: invalidate every previously persisted counter.
+COUNTER_FORMAT = 1
+
+_COUNTER_MAGIC = b"RPCT"
+
+
+def _as_query_arrays(i_arr, j_arr, n: int):
+    """Broadcast, clamp to ``[0, n]`` and flatten one batch of queries;
+    returns ``(i, j, shape)`` with ``shape`` the broadcast result shape."""
+    i = np.asarray(i_arr, dtype=np.int64)
+    j = np.asarray(j_arr, dtype=np.int64)
+    i, j = np.broadcast_arrays(i, j)
+    shape = i.shape
+    i = np.clip(i.ravel(), 0, n)
+    j = np.clip(j.ravel(), 0, n)
+    return i, j, shape
+
 
 class DenseCounter:
     """Explicit dominance-count matrix; O(1) queries, O(n^2) memory."""
+
+    kind = "dense"
 
     def __init__(self, rows_to_cols: PermArray):
         p = np.asarray(rows_to_cols, dtype=np.int64)
@@ -55,27 +114,37 @@ class DenseCounter:
         j = min(max(j, 0), n)
         return int(self._table[i, j])
 
-    def count_many(self, i_arr: np.ndarray, j_arr: np.ndarray) -> np.ndarray:
+    def count_many(self, i_arr, j_arr) -> np.ndarray:
         """Vectorized batch of counts (clamped like :meth:`count`)."""
-        i = np.clip(np.asarray(i_arr, dtype=np.int64), 0, self._n)
-        j = np.clip(np.asarray(j_arr, dtype=np.int64), 0, self._n)
-        return self._table[i, j]
+        i, j, shape = _as_query_arrays(i_arr, j_arr, self._n)
+        return self._table[i, j].reshape(shape)
 
 
 class DominanceCounter:
     """Merge-sort tree over the permutation's rows.
 
     Node ``v`` covers a contiguous row interval and stores the *sorted*
-    column values of the nonzeros in those rows. A query decomposes the
-    row range ``[i, n)`` into O(log n) canonical nodes and binary-searches
-    each sorted column list for ``< j``, giving O(log^2 n) per query with
-    O(n log n) total memory — linear-memory semi-local LCS as promised by
-    the paper.
+    column values of the nonzeros in those rows. A scalar query
+    decomposes the row range ``[i, n)`` into O(log n) canonical nodes and
+    binary-searches each sorted column list for ``< j``, giving
+    O(log^2 n) per query with O(n log n) total memory — linear-memory
+    semi-local LCS as promised by the paper.
 
     The tree is stored iteratively, bottom-up, as a list of levels; level
     arrays are built by pairwise NumPy merges so construction is
-    O(n log n) with vectorized inner work.
+    O(n log n) with vectorized inner work. The top level is the fully
+    sorted array (one block).
+
+    :meth:`count_many` batches k queries with **one searchsorted per
+    level**: ``count(i, j) = count([0, n), j) - count([0, i), j)`` and
+    the prefix ``[0, i)`` decomposes into exactly one aligned canonical
+    block per set bit of ``i``. Keying each level's values by their
+    block index (``block * (n + 1) + value``) makes the whole level one
+    globally sorted array, so all k block searches at a level collapse
+    into a single vectorized ``np.searchsorted``.
     """
+
+    kind = "merge-sort-tree"
 
     def __init__(self, rows_to_cols: PermArray):
         p = np.asarray(rows_to_cols, dtype=np.int64)
@@ -84,6 +153,7 @@ class DominanceCounter:
         # of size 2^k (last block possibly ragged).
         self._levels: list[np.ndarray] = []
         if self._n == 0:
+            self._keyed: list[np.ndarray] = []
             return
         level = p.copy()
         self._levels.append(level)
@@ -101,6 +171,18 @@ class DominanceCounter:
                     nxt[start:end] = merged
             self._levels.append(nxt)
             block *= 2
+        self._build_keys()
+
+    def _build_keys(self) -> None:
+        """Per level, the block-keyed view ``block_idx * (n+1) + value``
+        — globally sorted, which is what lets :meth:`count_many` answer
+        every query's level-k block with one searchsorted. O(n) per
+        level, recomputed (not persisted) on deserialization."""
+        n = self._n
+        pos = np.arange(n, dtype=np.int64)
+        self._keyed = [
+            (pos >> k) * (n + 1) + lvl for k, lvl in enumerate(self._levels)
+        ]
 
     @property
     def n(self) -> int:
@@ -128,9 +210,24 @@ class DominanceCounter:
             pos += size
         return total
 
-    def count_batch(self, ijs: np.ndarray) -> np.ndarray:
-        """Vectorized-ish batch of queries: ``ijs`` is ``(k, 2)``."""
-        return np.asarray([self.count(int(i), int(j)) for i, j in ijs], dtype=np.int64)
+    def count_many(self, i_arr, j_arr) -> np.ndarray:
+        """Batch of counts: one vectorized searchsorted per tree level."""
+        i, j, shape = _as_query_arrays(i_arr, j_arr, self._n)
+        n = self._n
+        if n == 0 or i.size == 0:
+            return np.zeros(shape, dtype=np.int64)
+        # whole-range count from the fully sorted top level...
+        total = np.searchsorted(self._levels[-1], j, side="left")
+        # ...minus the prefix [0, i): one aligned block per set bit of i
+        for k, keyed in enumerate(self._keyed):
+            bit = ((i >> k) & 1).astype(bool)
+            if not bit.any():
+                continue
+            start = (i >> (k + 1)) << (k + 1)  # block start, multiple of 2^k
+            keys = (start >> k) * (n + 1) + j
+            in_block = np.searchsorted(keyed, keys, side="left") - start
+            total = total - np.where(bit, in_block, 0)
+        return total.reshape(shape)
 
 
 class WaveletCounter:
@@ -147,8 +244,14 @@ class WaveletCounter:
     In a wavelet matrix (Claude-Navarro-Ordóñez layout) the partition is
     *global* rather than per-node, so position mapping uses global ranks
     plus the level's total count of 0-bits — which is what makes the
-    NumPy construction three lines per level.
+    NumPy construction three lines per level. The same globality makes
+    :meth:`count_many` a *single* vectorized descent: all k queries ride
+    the levels together as ``lo``/``hi`` vectors fancy-indexed into each
+    level's ``prefix_zeros``, split on their own j-bit by ``np.where`` —
+    O(log n) levels of O(k) NumPy work instead of k Python descents.
     """
+
+    kind = "wavelet"
 
     def __init__(self, rows_to_cols: PermArray):
         p = np.asarray(rows_to_cols, dtype=np.int64)
@@ -197,8 +300,37 @@ class WaveletCounter:
                 hi = zeros_hi
         return total
 
-    def count_batch(self, ijs: np.ndarray) -> np.ndarray:
-        return np.asarray([self.count(int(i), int(j)) for i, j in ijs], dtype=np.int64)
+    def count_many(self, i_arr, j_arr) -> np.ndarray:
+        """Batch of counts: one vectorized level descent for all queries.
+
+        Queries whose segment empties (``lo == hi``) keep riding the
+        descent as zero-width segments — every further level maps them to
+        another zero-width segment and contributes 0, so no masking or
+        early exit is needed for correctness.
+        """
+        i, j, shape = _as_query_arrays(i_arr, j_arr, self._n)
+        n = self._n
+        out = np.zeros(i.size, dtype=np.int64)
+        if n == 0 or i.size == 0:
+            return out.reshape(shape)
+        full = j >= n  # e < n holds for every nonzero: closed form
+        out[full] = n - i[full]
+        active = ~full & (i < n) & (j > 0)
+        if active.any():
+            lo = i[active]
+            hi = np.full(lo.size, n, dtype=np.int64)
+            jj = j[active]
+            total = np.zeros(lo.size, dtype=np.int64)
+            for depth, (prefix_zeros, total_zeros) in enumerate(self._levels):
+                level = self._bits - 1 - depth
+                zeros_lo = prefix_zeros[lo]
+                zeros_hi = prefix_zeros[hi]
+                bit = ((jj >> level) & 1).astype(bool)
+                total += np.where(bit, zeros_hi - zeros_lo, 0)
+                lo = np.where(bit, total_zeros + (lo - zeros_lo), zeros_lo)
+                hi = np.where(bit, total_zeros + (hi - zeros_hi), zeros_hi)
+            out[active] = total
+        return out.reshape(shape)
 
 
 _COUNTERS = {
@@ -207,22 +339,116 @@ _COUNTERS = {
     "wavelet": WaveletCounter,
 }
 
+#: The selectable counter kinds, in documentation order.
+COUNTER_KINDS = tuple(_COUNTERS)
+
+
+def resolve_counter_kind(size: int, *, dense_threshold: int = 2048, kind: str | None = None) -> str:
+    """The counter kind :func:`make_counter` would build for a kernel of
+    order *size*: an explicit *kind* wins, then the ``REPRO_COUNTER``
+    environment variable, then the size-based default (dense up to
+    *dense_threshold*, wavelet matrix beyond)."""
+    if kind is None:
+        kind = os.environ.get(COUNTER_ENV) or None
+    if kind is not None:
+        if kind not in _COUNTERS:
+            raise KeyError(
+                f"unknown counter kind {kind!r}; available: {sorted(_COUNTERS)}"
+            )
+        return kind
+    return "dense" if size <= dense_threshold else "wavelet"
+
 
 def make_counter(rows_to_cols: PermArray, *, dense_threshold: int = 2048, kind: str | None = None):
     """Pick a counter implementation by kernel size (or force one).
 
-    ``kind`` in ``{"dense", "merge-sort-tree", "wavelet"}`` overrides the
-    size-based default (dense up to *dense_threshold*, merge-sort tree
-    beyond).
+    ``kind`` in :data:`COUNTER_KINDS` overrides the size-based default
+    (dense up to *dense_threshold*, wavelet matrix beyond — the
+    merge-sort tree is opt-in); the ``REPRO_COUNTER`` environment
+    variable overrides the default but not an explicit ``kind``.
     """
     p = np.asarray(rows_to_cols)
-    if kind is not None:
-        try:
-            return _COUNTERS[kind](p)
-        except KeyError:
-            raise KeyError(
-                f"unknown counter kind {kind!r}; available: {sorted(_COUNTERS)}"
-            ) from None
-    if p.size <= dense_threshold:
-        return DenseCounter(p)
-    return DominanceCounter(p)
+    return _COUNTERS[resolve_counter_kind(p.size, dense_threshold=dense_threshold, kind=kind)](p)
+
+
+# -- persistence --------------------------------------------------------
+
+_KIND_CODES = {"merge-sort-tree": 1, "wavelet": 2}
+_CODE_KINDS = {v: k for k, v in _KIND_CODES.items()}
+_HEADER = struct.Struct("<4sIIq")  # magic, format, kind code, n
+
+
+def counter_to_bytes(counter) -> bytes | None:
+    """Serialize a *built* counter's levels (versioned payload).
+
+    Returns ``None`` for kinds not worth persisting — the dense table is
+    O(n^2) bytes and one cumsum to rebuild, so only the O(n log n)
+    structures (merge-sort tree, wavelet matrix) round-trip through the
+    :class:`~repro.checkpoint.store.KernelStore`.
+    """
+    kind = getattr(counter, "kind", None)
+    code = _KIND_CODES.get(kind)
+    if code is None:
+        return None
+    parts = [_HEADER.pack(_COUNTER_MAGIC, COUNTER_FORMAT, code, counter.n)]
+    if kind == "merge-sort-tree":
+        levels = counter._levels
+        parts.append(struct.pack("<I", len(levels)))
+        for lvl in levels:
+            parts.append(np.ascontiguousarray(lvl, dtype="<i8").tobytes())
+    else:  # wavelet
+        parts.append(struct.pack("<I", counter._bits))
+        for prefix_zeros, _total in counter._levels:
+            parts.append(np.ascontiguousarray(prefix_zeros, dtype="<i8").tobytes())
+    return b"".join(parts)
+
+
+def counter_from_bytes(data: bytes):
+    """Rebuild a counter from :func:`counter_to_bytes` output without
+    re-running the O(n log n) construction. Raises :class:`ValueError`
+    on any malformed, truncated or version-mismatched payload (callers
+    treat that as "no persisted counter" and rebuild)."""
+    if len(data) < _HEADER.size:
+        raise ValueError("counter payload truncated before header")
+    magic, fmt, code, n = _HEADER.unpack_from(data, 0)
+    if magic != _COUNTER_MAGIC:
+        raise ValueError("counter payload has wrong magic")
+    if fmt != COUNTER_FORMAT:
+        raise ValueError(f"counter payload format {fmt} != {COUNTER_FORMAT}")
+    kind = _CODE_KINDS.get(code)
+    if kind is None or n < 0:
+        raise ValueError(f"counter payload has invalid kind code {code} / n {n}")
+    off = _HEADER.size
+    (count,) = struct.unpack_from("<I", data, off)
+    off += 4
+
+    def take(words: int) -> np.ndarray:
+        nonlocal off
+        end = off + 8 * words
+        if end > len(data):
+            raise ValueError("counter payload truncated mid-level")
+        arr = np.frombuffer(data, dtype="<i8", count=words, offset=off).astype(np.int64)
+        off = end
+        return arr
+
+    if kind == "merge-sort-tree":
+        expected = 1 if n <= 1 else 1 + (n - 1).bit_length()
+        if n and count != expected:
+            raise ValueError(f"merge-sort tree level count {count} != {expected}")
+        counter = DominanceCounter.__new__(DominanceCounter)
+        counter._n = n
+        counter._levels = [take(n) for _ in range(count if n else 0)]
+        counter._build_keys()
+    else:
+        expected = max(1, (n - 1).bit_length()) if n else 0
+        if count != expected:
+            raise ValueError(f"wavelet level count {count} != {expected}")
+        counter = WaveletCounter.__new__(WaveletCounter)
+        counter._n = n
+        counter._bits = count
+        counter._levels = [
+            (pz, int(pz[-1])) for pz in (take(n + 1) for _ in range(count))
+        ]
+    if off != len(data):
+        raise ValueError("counter payload has trailing bytes")
+    return counter

@@ -24,8 +24,12 @@ Conventions (verified against the brute-force DP of Definition 3.3 in
       H[i, j] = (j + m - i) - #{ (s, e) in P : s >= i, e < j }
 
   evaluated in O(1) from a dense prefix table for small kernels, or in
-  O(log^2 n) from a merge-sort tree for large ones (linear memory, as
-  promised in §3 of the paper);
+  O(log n) from a wavelet matrix for large ones (linear memory, as
+  promised in §3 of the paper; ``counter_kind`` selects the structure
+  explicitly — see :mod:`repro.core.dominance`). Array-valued queries
+  (whole rows of scores, windowed sweeps) go through the counter's
+  batched ``count_many`` — one vectorized probe carrying every index
+  pair at once instead of a Python loop of descents;
 - wildcard windows reduce to plain LCS scores by the exchange argument:
   ``LCS(a, ?^k w) = k + LCS(a[k:], w)`` and symmetrically for trailing
   wildcards, which yields the four quadrant formulas below.
@@ -36,8 +40,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import QueryError, ShapeMismatchError
+from ..obs.metrics import inc as _metric_inc
 from ..types import PermArray, Sequenceish
-from .dominance import make_counter
+from .dominance import make_counter, resolve_counter_kind
 from .permutation import validate_permutation
 
 
@@ -52,8 +57,19 @@ class SemiLocalKernel:
         Lengths of the input strings ``a`` and ``b``.
     dense_threshold:
         Kernels of order up to this use the O(n^2)-memory dense counter
-        (O(1) queries); larger kernels use the merge-sort tree
-        (O(n log n) memory, O(log^2 n) queries).
+        (O(1) queries); larger kernels use the wavelet matrix
+        (O(n log n) memory, O(log n) queries, vectorized batch probes).
+    counter_kind:
+        Force a counting structure (one of
+        :data:`repro.core.dominance.COUNTER_KINDS`) instead of the
+        size-based default; the ``REPRO_COUNTER`` environment variable
+        overrides the default but not an explicit kind.
+    counter:
+        A pre-built counter to adopt (e.g. deserialized from a
+        :class:`~repro.checkpoint.store.KernelStore` artifact via
+        :func:`repro.core.dominance.counter_from_bytes`). Adopted only
+        when its order and kind match what would be built here;
+        otherwise it is ignored and a fresh counter is constructed.
     """
 
     def __init__(
@@ -64,6 +80,8 @@ class SemiLocalKernel:
         *,
         validate: bool = True,
         dense_threshold: int = 2048,
+        counter_kind: str | None = None,
+        counter=None,
     ):
         kernel = np.asarray(kernel, dtype=np.int64)
         if kernel.size != m + n:
@@ -74,7 +92,20 @@ class SemiLocalKernel:
         self.m = int(m)
         self.n = int(n)
         self._dense_threshold = dense_threshold
-        self._counter = make_counter(kernel, dense_threshold=dense_threshold)
+        self.counter_kind = resolve_counter_kind(
+            kernel.size, dense_threshold=dense_threshold, kind=counter_kind
+        )
+        if (
+            counter is not None
+            and getattr(counter, "kind", None) == self.counter_kind
+            and counter.n == kernel.size
+        ):
+            self._counter = counter
+        else:
+            self._counter = make_counter(
+                kernel, dense_threshold=dense_threshold, kind=self.counter_kind
+            )
+            _metric_inc("kernel.counter_builds", 1)
         self._flipped_cache: "SemiLocalKernel | None" = None
 
     # -- construction --------------------------------------------------
@@ -164,9 +195,17 @@ class SemiLocalKernel:
 
     # -- batch views -----------------------------------------------------
 
+    def _count_many(self, i: np.ndarray, j: np.ndarray) -> np.ndarray:
+        """One batched dominance probe, with batch accounting
+        (``kernel.probe_batches`` / ``kernel.probes``); the scalar
+        :meth:`h` path stays registry-free per the metrics contract."""
+        _metric_inc("kernel.probe_batches", 1)
+        _metric_inc("kernel.probes", int(i.size))
+        return self._counter.count_many(i, j)
+
     def string_substring_many(self, ls, rs) -> np.ndarray:
         """Batch of ``LCS(a, b[l:r))`` scores for paired arrays of window
-        bounds; vectorized when the dense counter is active."""
+        bounds — one vectorized ``count_many`` probe for the whole batch."""
         ls = np.asarray(ls, dtype=np.int64)
         rs = np.asarray(rs, dtype=np.int64)
         if ls.shape != rs.shape:
@@ -177,33 +216,37 @@ class SemiLocalKernel:
             raise QueryError("invalid substring windows in batch query")
         i = self.m + ls
         j = rs
-        if hasattr(self._counter, "count_many"):
-            counts = self._counter.count_many(i, j)
-        else:
-            counts = np.asarray(
-                [self._counter.count(int(ii), int(jj)) for ii, jj in zip(i, j)],
-                dtype=np.int64,
-            )
-        return (j + self.m - i) - counts
+        return (j + self.m - i) - self._count_many(i, j)
 
     def string_substring_row(self, r: int) -> np.ndarray:
-        """``out[l] = LCS(a, b[l:r))`` for all ``l in [0, r]`` (one array)."""
+        """``out[l] = LCS(a, b[l:r))`` for all ``l in [0, r]`` (one array,
+        one batched probe)."""
         if not (0 <= r <= self.n):
             raise QueryError(f"invalid substring end {r}")
-        return np.asarray(
-            [self.string_substring(l, r) for l in range(r + 1)], dtype=np.int64
-        )
+        ls = np.arange(r + 1, dtype=np.int64)
+        return self.string_substring_many(ls, np.full_like(ls, r))
 
     def all_string_substring(self) -> np.ndarray:
         """Matrix ``S[l, r] = LCS(a, b[l:r))`` for all ``l <= r``; 0 elsewhere.
 
-        O(n^2) queries; for moderate n.
+        O(n^2) output, answered as a single batched probe over the full
+        ``(l, r)`` grid — for moderate n.
         """
-        out = np.zeros((self.n + 1, self.n + 1), dtype=np.int64)
-        for l in range(self.n + 1):
-            for r in range(l, self.n + 1):
-                out[l, r] = self.string_substring(l, r)
-        return out
+        grid = np.arange(self.n + 1, dtype=np.int64)
+        i = self.m + grid[:, None]  # (n+1, 1): rows are l
+        j = np.broadcast_to(grid[None, :], (self.n + 1, self.n + 1))  # cols are r
+        scores = (j + self.m - i) - self._count_many(
+            np.broadcast_to(i, j.shape), j
+        )
+        return np.where(grid[:, None] <= grid[None, :], scores, 0)
+
+    def export_counter(self) -> bytes | None:
+        """The built counter's serialized levels
+        (:func:`repro.core.dominance.counter_to_bytes`), or ``None`` for
+        kinds that are cheaper to rebuild than to persist (dense)."""
+        from .dominance import counter_to_bytes
+
+        return counter_to_bytes(self._counter)
 
     def flipped(self) -> "SemiLocalKernel":
         """Kernel of the swapped pair ``(b, a)`` via Theorem 3.5:
@@ -217,6 +260,7 @@ class SemiLocalKernel:
                 self.m,
                 validate=False,
                 dense_threshold=self._dense_threshold,
+                counter_kind=self.counter_kind,
             )
         return self._flipped_cache
 

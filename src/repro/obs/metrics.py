@@ -496,6 +496,16 @@ METRIC_CATALOG: tuple[tuple[str, str, str, str, str], ...] = (
      "Fresh semi-local kernels combed on behalf of the query tier."),
     ("query.appends", "counter", "kernels", "query",
      "Extended kernels produced by Theorem 3.4 append-composition instead of a recompute."),
+    ("query.prepends", "counter", "kernels", "query",
+     "Extended kernels produced by the Theorem 3.5 flip of the append composition "
+     "(prefix combed, composed above the cached kernel)."),
+    ("kernel.counter_builds", "counter", "structures", "core.kernel",
+     "Dominance-counting structures constructed from scratch (a store hit that "
+     "ships a persisted counter skips this)."),
+    ("kernel.probe_batches", "counter", "batches", "core.kernel",
+     "Batched dominance probes (count_many calls) answered by semi-local kernels."),
+    ("kernel.probes", "counter", "probes", "core.kernel",
+     "Individual dominance counts answered through batched count_many probes."),
     ("resilience.retries", "counter", "attempts", "parallel.resilient",
      "Per-task re-executions after a failed round."),
     ("resilience.task_failures", "counter", "events", "parallel.resilient",

@@ -27,7 +27,7 @@ QUERY_CATALOG: tuple[tuple[str, str, str, str, str, str], ...] = (
         "Global LCS score of the pair — the string-substring query at the full window `b[0:n)`.",
         "Def. 3.2/3.3 (semi-local score matrix and its kernel representation)",
         "one O(mn) combing",
-        "one dominance count: O(1) dense, O(log^2 n) merge-sort tree",
+        "one dominance count: O(1) dense, O(log n) wavelet matrix",
     ),
     (
         "windowed_lcs",
@@ -72,6 +72,16 @@ QUERY_CATALOG: tuple[tuple[str, str, str, str, str, str], ...] = (
         "under the extended pair's key, so follow-up queries are hits.",
         "Thm. 3.4 (kernel composition); flip identity Thm. 3.5 covers appends to b",
         "one O(|suffix| * n) combing + one O(N log N) braid multiply (N = m + |suffix| + n)",
+        "inherits every per-query cost above on the composite kernel",
+    ),
+    (
+        "prepend",
+        "prepend(prefix, a, b) -> kernel of (prefix + a, b)",
+        "Extend a cached pair at the front: comb only P_{prefix,b} and compose it *above* the "
+        "cached P_{a,b} (the prefix is the top block of the vertical stack). The composite is "
+        "cached under the extended pair's key, so follow-up queries are hits.",
+        "Thm. 3.4 (kernel composition) — the Thm. 3.5 mirror of append",
+        "one O(|prefix| * n) combing + one O(N log N) braid multiply (N = |prefix| + m + n)",
         "inherits every per-query cost above on the composite kernel",
     ),
 )

@@ -11,16 +11,20 @@ cache plus the query algebra on top:
   counter is part of the cached value, so repeat queries skip even the
   counter build), backed by an optional
   :class:`~repro.checkpoint.store.KernelStore` in LRU cache mode
-  (``max_bytes``) that persists raw permutations across processes;
+  (``max_bytes``) that persists permutations *and built counters*
+  across processes — a disk hit deserializes the counter sidecar
+  instead of re-running the O(n log n) construction;
 - **the query ops** of :data:`~repro.query.catalog.QUERY_CATALOG` —
   ``lcs``, ``windowed_lcs``, ``all_prefix_scores``,
-  ``all_suffix_scores``, ``substring_threshold_matches`` — each a batch
-  of dominance counts over the cached kernel instead of a fresh O(n^2)
-  run;
-- **incremental append** (Theorem 3.4) — ``append(a, suffix, b)``
-  composes the cached ``P_{a,b}`` with a freshly combed
-  ``P_{suffix,b}`` and caches the composite, so a growing string reuses
-  its prefix kernel instead of recombing from scratch.
+  ``all_suffix_scores``, ``substring_threshold_matches`` — each a
+  *single batched* dominance probe (``count_many``) over the cached
+  kernel instead of a Python loop of descents;
+- **incremental append / prepend** (Theorems 3.4 + 3.5) —
+  ``append(a, suffix, b)`` composes the cached ``P_{a,b}`` with a
+  freshly combed ``P_{suffix,b}``; ``prepend(prefix, a, b)`` stacks a
+  combed prefix block *above* the cached kernel. Both cache the
+  composite, so a growing string reuses its existing kernel instead of
+  recombing from scratch.
 
 Kernels are keyed content-addressed under the canonical
 :data:`QUERY_ALGORITHM` label: every combing algorithm produces the
@@ -76,6 +80,12 @@ class QueryEngine:
     dense_threshold:
         Passed through to :class:`~repro.core.kernel.SemiLocalKernel` —
         kernels of order up to this use the O(1)-query dense counter.
+    counter_kind:
+        Force a dominance-counting structure (one of
+        :data:`repro.core.dominance.COUNTER_KINDS`) for every kernel this
+        engine wraps, instead of the size-based default (dense below the
+        threshold, wavelet above). The ``REPRO_COUNTER`` environment
+        variable overrides the default but not an explicit kind here.
     """
 
     def __init__(
@@ -86,6 +96,7 @@ class QueryEngine:
         comb=None,
         multiply=None,
         dense_threshold: int = 2048,
+        counter_kind: str | None = None,
     ):
         if max_kernels <= 0:
             raise QueryError(f"max_kernels must be positive, got {max_kernels}")
@@ -98,6 +109,7 @@ class QueryEngine:
             from ..core.steady_ant import steady_ant_multiply as multiply
         self._multiply = multiply
         self._dense_threshold = int(dense_threshold)
+        self._counter_kind = counter_kind
         self._mem: "OrderedDict[str, SemiLocalKernel]" = OrderedDict()
         self._lock = threading.Lock()
         self.requests = 0
@@ -105,6 +117,7 @@ class QueryEngine:
         self.kernel_misses = 0
         self.kernel_builds = 0
         self.appends = 0
+        self.prepends = 0
 
     # -- keys and cache levels -------------------------------------------
 
@@ -155,12 +168,20 @@ class QueryEngine:
             return kern
         if self.store is not None:
             try:
-                perm = self.store.get(key)
+                perm, counter_bytes = self.store.get_with_counter(key)
             except CheckpointCorruptionError:
                 self.store.discard(key)
-                perm = None
+                perm, counter_bytes = None, None
             if perm is not None:
-                kern = self._wrap(perm, ca.size, cb.size)
+                counter = None
+                if counter_bytes is not None:
+                    from ..core.dominance import counter_from_bytes
+
+                    try:
+                        counter = counter_from_bytes(counter_bytes)
+                    except ValueError:
+                        counter = None  # rebuild below; never trust a bad sidecar
+                kern = self._wrap(perm, ca.size, cb.size, counter=counter)
                 self._remember(key, kern)
                 self._count_hit()
                 return kern
@@ -180,16 +201,31 @@ class QueryEngine:
         return self._install(self.key_of(ca, cb), np.asarray(perm, dtype=np.int64),
                              ca.size, cb.size)
 
-    def _wrap(self, perm: PermArray, m: int, n: int) -> SemiLocalKernel:
+    def _wrap(
+        self, perm: PermArray, m: int, n: int, counter=None
+    ) -> SemiLocalKernel:
         return SemiLocalKernel(
-            perm, m, n, validate=False, dense_threshold=self._dense_threshold
+            perm,
+            m,
+            n,
+            validate=False,
+            dense_threshold=self._dense_threshold,
+            counter_kind=self._counter_kind,
+            counter=counter,
         )
 
     def _install(self, key: str, perm: PermArray, m: int, n: int) -> SemiLocalKernel:
         kern = self._wrap(perm, m, n)
         self._remember(key, kern)
         if self.store is not None:
-            self.store.put(key, perm, algorithm=QUERY_ALGORITHM, m=m, n=n)
+            self.store.put(
+                key,
+                perm,
+                algorithm=QUERY_ALGORITHM,
+                m=m,
+                n=n,
+                counter=kern.export_counter(),
+            )
         return kern
 
     def _count_hit(self) -> None:
@@ -302,15 +338,49 @@ class QueryEngine:
         _metric_inc("query.appends", 1)
         return self._install(ext_key, composite, extended.size, cb.size)
 
+    def prepend(
+        self, prefix: Sequenceish, a: Sequenceish, b: Sequenceish
+    ) -> SemiLocalKernel:
+        """Kernel of ``(prefix + a, b)`` — the Theorem 3.5 mirror of
+        :meth:`append`.
+
+        Vertical composition stacks blocks top-down along ``a``, and the
+        *prefix* of the concatenated string is the *top* block — so
+        prepending combs only ``P_{prefix,b}`` and composes it **above**
+        the cached ``P_{a,b}``. The composite is cached under the
+        extended pair's key, so a string growing at the front reuses its
+        existing kernel just like :meth:`append` does at the back.
+        """
+        self._count_request()
+        ca, cb = self._encoded(a, b)
+        cp = encode(prefix)
+        if cp.size == 0:
+            return self.kernel(ca, cb)
+        extended = concat([cp, ca])
+        ext_key = self.key_of(extended, cb)
+        kern = self._mem_get(ext_key)
+        if kern is not None:
+            self._count_hit()
+            return kern
+        base = self.kernel(ca, cb)
+        prefix_kernel = np.asarray(self._comb(cp, cb), dtype=np.int64)
+        composite = compose_vertical(
+            prefix_kernel, base.kernel, cp.size, base.m, cb.size, self._multiply
+        )
+        with self._lock:
+            self.prepends += 1
+        _metric_inc("query.prepends", 1)
+        return self._install(ext_key, composite, extended.size, cb.size)
+
     # -- dispatch ----------------------------------------------------------
 
     def answer(self, op: str, a: Sequenceish, b: Sequenceish, **params):
         """Dispatch one catalog op by name (the serve tier's entry point).
 
         Array results come back as plain lists so they serialize straight
-        into the wire protocol; ``append`` answers with the extended
-        pair's global LCS score (the composite kernel is cached as a side
-        effect).
+        into the wire protocol; ``append`` and ``prepend`` answer with
+        the extended pair's global LCS score (the composite kernel is
+        cached as a side effect).
         """
         if op not in QUERY_OPS:
             raise QueryError(f"unknown query op {op!r}; available: {list(QUERY_OPS)}")
@@ -329,8 +399,10 @@ class QueryEngine:
                     a, b, params["theta"], params.get("window")
                 )
             ]
-        # append
-        return int(self.append(a, params["suffix"], b).lcs_whole())
+        if op == "append":
+            return int(self.append(a, params["suffix"], b).lcs_whole())
+        # prepend
+        return int(self.prepend(params["prefix"], a, b).lcs_whole())
 
     def _count_request(self) -> None:
         with self._lock:
@@ -347,8 +419,8 @@ class QueryEngine:
             return self.kernel_hits / looked if looked else 0.0
 
     def stats(self) -> dict:
-        """Requests, hit/miss/build/append counters, hit rate, and the
-        backing store's own counters when one is attached."""
+        """Requests, hit/miss/build/append/prepend counters, hit rate,
+        and the backing store's own counters when one is attached."""
         with self._lock:
             out = {
                 "requests": self.requests,
@@ -356,6 +428,7 @@ class QueryEngine:
                 "kernel_misses": self.kernel_misses,
                 "kernel_builds": self.kernel_builds,
                 "appends": self.appends,
+                "prepends": self.prepends,
                 "memory_kernels": len(self._mem),
             }
         out["hit_rate"] = round(self.hit_rate, 6)

@@ -80,10 +80,15 @@ class Engine:
         The query tier's memoization. ``query_store_dir`` backs the
         :class:`~repro.query.QueryEngine` with an on-disk
         :class:`~repro.checkpoint.store.KernelStore` (in LRU cache mode
-        when ``query_max_bytes`` is set) so cached kernels survive
-        restarts; ``query_max_kernels`` bounds the in-memory LRU of
-        live kernels. The query engine always exists after
-        :meth:`start` — without a store dir it is memory-only.
+        when ``query_max_bytes`` is set) so cached kernels — and their
+        built dominance counters — survive restarts;
+        ``query_max_kernels`` bounds the in-memory LRU of live kernels.
+        The query engine always exists after :meth:`start` — without a
+        store dir it is memory-only.
+    query_counter_kind:
+        Force the query tier's dominance-counting structure (one of
+        :data:`repro.core.dominance.COUNTER_KINDS`) instead of the
+        size-based default.
     """
 
     def __init__(
@@ -103,6 +108,7 @@ class Engine:
         query_store_dir: str | None = None,
         query_max_bytes: int | None = None,
         query_max_kernels: int = 64,
+        query_counter_kind: str | None = None,
         **algo_kwargs,
     ):
         self.backend = backend
@@ -119,6 +125,7 @@ class Engine:
         self.query_store_dir = query_store_dir
         self.query_max_bytes = query_max_bytes
         self.query_max_kernels = int(query_max_kernels)
+        self.query_counter_kind = query_counter_kind
         self.algo_kwargs = dict(algo_kwargs)
         self.machine = None
         self.scheduler: BatchScheduler | None = None
@@ -186,7 +193,11 @@ class Engine:
                 from ..checkpoint import KernelStore
 
                 store = KernelStore(self.query_store_dir, max_bytes=self.query_max_bytes)
-            self.query = QueryEngine(store=store, max_kernels=self.query_max_kernels)
+            self.query = QueryEngine(
+                store=store,
+                max_kernels=self.query_max_kernels,
+                counter_kind=self.query_counter_kind,
+            )
             self._state = "running"
         return self
 
@@ -252,9 +263,9 @@ class Engine:
     def query_cached(self, op: str, a: str, b: str, params: dict) -> bool:
         """True when *op* on the pair needs no kernel build — i.e. it can
         be answered inline, bypassing the continuous batcher. For
-        ``append`` that means either the extended pair's composite kernel
-        or the base pair's kernel is already cached (composition itself
-        is cheap relative to a recomb)."""
+        ``append``/``prepend`` that means either the extended pair's
+        composite kernel or the base pair's kernel is already cached
+        (composition itself is cheap relative to a recomb)."""
         if self._state == "new":
             self.start()
         if self.query is None:
@@ -262,6 +273,9 @@ class Engine:
         if op == "append":
             suffix = params.get("suffix", "")
             return self.query.cached(a + suffix, b) or self.query.cached(a, b)
+        if op == "prepend":
+            prefix = params.get("prefix", "")
+            return self.query.cached(prefix + a, b) or self.query.cached(a, b)
         return self.query.cached(a, b)
 
     def run_query(self, op: str, a: str, b: str, params: dict):
@@ -293,7 +307,7 @@ class Engine:
             to_build: list[tuple[str, str]] = []
             seen: set = set()
             for op, a, b, params in items:
-                pair = (a, b)  # append builds its *base* kernel too
+                pair = (a, b)  # append/prepend build their *base* kernel too
                 if pair not in seen and not self.query.cached(a, b):
                     seen.add(pair)
                     to_build.append(pair)

@@ -11,9 +11,9 @@ A ``query`` request is ``{"type": "query", "op": <op>, "a": ..., "b":
 ..., "params": {...}}`` where ``op`` is one of
 :data:`repro.query.QUERY_OPS` (``lcs``, ``windowed_lcs``,
 ``all_prefix_scores``, ``all_suffix_scores``,
-``substring_threshold_matches``, ``append``) and ``params`` holds the
-op's own arguments (``window``, ``theta``, ``suffix`` — see
-``docs/queries.md``). The success response is ``{"ok": true, "op":
+``substring_threshold_matches``, ``append``, ``prepend``) and
+``params`` holds the op's own arguments (``window``, ``theta``,
+``suffix``, ``prefix`` — see ``docs/queries.md``). The success response is ``{"ok": true, "op":
 <op>, "result": ...}``. When the pair's kernel is already memoized the
 daemon answers inline (bypassing the batcher); otherwise the kernel
 build joins the next flush group's megabatch.

@@ -418,6 +418,7 @@ class LcsServer:
             "windowed_lcs": {"window"},
             "substring_threshold_matches": {"theta", "window"},
             "append": {"suffix"},
+            "prepend": {"prefix"},
         }[op]
         unknown = set(params) - allowed
         if unknown:
@@ -453,6 +454,11 @@ class LcsServer:
             if not isinstance(params.get("suffix"), str):
                 raise RequestRejectedError(
                     "'append' needs a string 'suffix'", code="bad_request"
+                )
+        elif op == "prepend":
+            if not isinstance(params.get("prefix"), str):
+                raise RequestRejectedError(
+                    "'prepend' needs a string 'prefix'", code="bad_request"
                 )
         return op, a, b, params
 

@@ -109,6 +109,88 @@ class TestRoundtrip:
         assert np.array_equal(clone.get(key), PERM)
 
 
+class TestCounterSidecar:
+    """Persisted dominance counters ride next to the permutation and are
+    sha256-pinned by the manifest — never trusted, never fatal."""
+
+    def _counter_bytes(self):
+        from repro.core.dominance import WaveletCounter, counter_to_bytes
+
+        return counter_to_bytes(WaveletCounter(PERM))
+
+    def test_round_trip(self, tmp_path):
+        from repro.core.dominance import counter_from_bytes
+
+        store = KernelStore(tmp_path)
+        data = self._counter_bytes()
+        key = kernel_key(np.arange(2), np.arange(2), "algo")
+        store.put(key, PERM, algorithm="algo", m=2, n=2, counter=data)
+        perm, revived = store.get_with_counter(key)
+        assert np.array_equal(perm, PERM)
+        assert revived == data
+        counter = counter_from_bytes(revived)
+        assert counter.count(0, 4) == 4
+
+    def test_get_with_counter_on_miss(self, tmp_path):
+        store = KernelStore(tmp_path)
+        assert store.get_with_counter("ab" + "0" * 62) == (None, None)
+
+    def test_pre_sidecar_artifact_loads_without_counter(self, tmp_path):
+        store = KernelStore(tmp_path)
+        key = put_one(store)  # no counter argument — the old manifest shape
+        perm, data = store.get_with_counter(key)
+        assert np.array_equal(perm, PERM)
+        assert data is None
+
+    def test_put_without_counter_drops_stale_sidecar(self, tmp_path):
+        store = KernelStore(tmp_path)
+        key = kernel_key(np.arange(2), np.arange(2), "algo")
+        store.put(key, PERM, algorithm="algo", m=2, n=2, counter=self._counter_bytes())
+        assert store._counter_path(key).exists()
+        store.put(key, PERM, algorithm="algo", m=2, n=2)
+        assert not store._counter_path(key).exists()
+        perm, data = store.get_with_counter(key)
+        assert np.array_equal(perm, PERM) and data is None
+
+    def test_corrupt_sidecar_is_dropped_not_fatal(self, tmp_path):
+        store = KernelStore(tmp_path)
+        key = kernel_key(np.arange(2), np.arange(2), "algo")
+        store.put(key, PERM, algorithm="algo", m=2, n=2, counter=self._counter_bytes())
+        store._counter_path(key).write_bytes(b"flipped bits")
+        perm, data = store.get_with_counter(key)
+        assert np.array_equal(perm, PERM)  # permutation still verified-good
+        assert data is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_missing_sidecar_file_is_a_soft_miss(self, tmp_path):
+        store = KernelStore(tmp_path)
+        key = kernel_key(np.arange(2), np.arange(2), "algo")
+        store.put(key, PERM, algorithm="algo", m=2, n=2, counter=self._counter_bytes())
+        store._counter_path(key).unlink()
+        perm, data = store.get_with_counter(key)
+        assert np.array_equal(perm, PERM) and data is None
+
+    def test_discard_removes_sidecar(self, tmp_path):
+        store = KernelStore(tmp_path)
+        key = kernel_key(np.arange(2), np.arange(2), "algo")
+        store.put(key, PERM, algorithm="algo", m=2, n=2, counter=self._counter_bytes())
+        freed = store.discard(key)
+        assert freed > 0
+        assert not store._counter_path(key).exists()
+
+    def test_verify_flags_orphan_sidecar(self, tmp_path):
+        store = KernelStore(tmp_path)
+        key = put_one(store)
+        orphan = store._counter_path("cd" + "0" * 62)
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_bytes(b"stray")
+        report = store.verify()
+        assert report[key] == "ok"
+        assert report["cd" + "0" * 62].startswith("orphan")
+        store.gc()
+        assert not orphan.exists()
+
+
 class TestCorruption:
     """No byte of an artifact may flip without detection."""
 

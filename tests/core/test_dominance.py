@@ -41,11 +41,10 @@ class TestCounters:
 
 
 class TestMergeSortTreeInternals:
-    def test_count_batch(self, rng):
+    def test_count_many(self, rng):
         p = rng.permutation(20)
         c = DominanceCounter(p)
-        ijs = np.array([[0, 20], [5, 7], [20, 0]])
-        out = c.count_batch(ijs)
+        out = c.count_many(np.array([0, 5, 20]), np.array([20, 7, 0]))
         assert out.tolist() == [20, c.count(5, 7), 0]
 
     def test_non_power_of_two_sizes(self, rng):
@@ -63,7 +62,23 @@ class TestMakeCounter:
         small = make_counter(np.arange(4), dense_threshold=8)
         large = make_counter(np.arange(16), dense_threshold=8)
         assert isinstance(small, DenseCounter)
-        assert isinstance(large, DominanceCounter)
+        assert isinstance(large, WaveletCounter)
+
+    def test_explicit_kind_wins(self):
+        tree = make_counter(np.arange(4), dense_threshold=8, kind="merge-sort-tree")
+        assert isinstance(tree, DominanceCounter)
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COUNTER", "merge-sort-tree")
+        assert isinstance(make_counter(np.arange(4), dense_threshold=8), DominanceCounter)
+        # explicit kind beats the env var
+        assert isinstance(
+            make_counter(np.arange(4), dense_threshold=8, kind="dense"), DenseCounter
+        )
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(KeyError):
+            make_counter(np.arange(4), kind="btree")
 
 
 class TestWaveletInternals:

@@ -7,7 +7,13 @@ from hypothesis import strategies as st
 from repro.core.braid import StickyBraid
 from repro.core.combing.iterative import cut_positions
 from repro.core.dist_matrix import dominance_count
-from repro.core.dominance import DenseCounter, DominanceCounter
+from repro.core.dominance import (
+    DenseCounter,
+    DominanceCounter,
+    WaveletCounter,
+    counter_from_bytes,
+    counter_to_bytes,
+)
 
 permutations = st.integers(0, 2**32 - 1).flatmap(
     lambda seed: st.integers(1, 80).map(
@@ -22,11 +28,59 @@ def test_counters_agree_with_definition(p, data):
     n = p.size
     dense = DenseCounter(p)
     tree = DominanceCounter(p)
+    wavelet = WaveletCounter(p)
     i = data.draw(st.integers(0, n))
     j = data.draw(st.integers(0, n))
     want = dominance_count(p, i, j)
     assert dense.count(i, j) == want
     assert tree.count(i, j) == want
+    assert wavelet.count(i, j) == want
+
+
+@given(permutations, st.data())
+@settings(max_examples=100, deadline=None)
+def test_count_many_matches_elementwise_count(p, data):
+    """One vectorized descent == a loop of scalar descents, for every
+    counter kind, including out-of-range indices (clamped) and any
+    integer dtype of the probe arrays."""
+    n = p.size
+    k = data.draw(st.integers(0, 12))
+    dtype = data.draw(st.sampled_from([np.int64, np.int32, np.intp]))
+    i_arr = np.asarray(
+        data.draw(st.lists(st.integers(-3, n + 3), min_size=k, max_size=k)),
+        dtype=dtype,
+    )
+    j_arr = np.asarray(
+        data.draw(st.lists(st.integers(-3, n + 3), min_size=k, max_size=k)),
+        dtype=dtype,
+    )
+    for counter in (DenseCounter(p), DominanceCounter(p), WaveletCounter(p)):
+        out = counter.count_many(i_arr, j_arr)
+        assert out.shape == i_arr.shape
+        assert out.tolist() == [
+            counter.count(int(i), int(j)) for i, j in zip(i_arr, j_arr)
+        ]
+
+
+@given(permutations, st.data())
+@settings(max_examples=100, deadline=None)
+def test_counter_bytes_round_trip(p, data):
+    """Serialized tree/wavelet counters answer exactly like the originals
+    after a bytes round-trip (dense has no serialized form)."""
+    n = p.size
+    assert counter_to_bytes(DenseCounter(p)) is None
+    i = data.draw(st.integers(0, n))
+    j = data.draw(st.integers(0, n))
+    for counter in (DominanceCounter(p), WaveletCounter(p)):
+        revived = counter_from_bytes(counter_to_bytes(counter))
+        assert type(revived) is type(counter)
+        assert revived.n == n
+        assert revived.count(i, j) == counter.count(i, j)
+        js = np.arange(n + 1, dtype=np.int64)
+        assert (
+            revived.count_many(np.full_like(js, i), js).tolist()
+            == counter.count_many(np.full_like(js, i), js).tolist()
+        )
 
 
 @given(permutations)

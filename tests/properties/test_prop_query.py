@@ -82,6 +82,36 @@ def test_append_equals_from_scratch_text(a, suffix, b):
     np.testing.assert_array_equal(composite.kernel, scratch.kernel)
 
 
+@given(st.text(alphabet="abc", max_size=8), texts, texts)
+@settings(max_examples=50, deadline=None)
+def test_prepend_equals_from_scratch_text(prefix, a, b):
+    """The Thm 3.5 mirror: prepending combs only the prefix block and
+    stacks it above the cached kernel — same result as recombing."""
+    eng = QueryEngine()
+    composite = eng.prepend(prefix, a, b)
+    scratch = semilocal_lcs(prefix + a, b)
+    np.testing.assert_array_equal(composite.kernel, scratch.kernel)
+
+
+@given(texts, texts)
+@settings(max_examples=30, deadline=None)
+def test_persisted_counter_preserves_all_answers(a, b):
+    """A second engine hitting the store (permutation + counter sidecar,
+    forced non-dense by a tiny threshold) answers every array-valued op
+    exactly like the engine that built everything from scratch."""
+    with tempfile.TemporaryDirectory() as root:
+        first = QueryEngine(store=KernelStore(root), dense_threshold=2)
+        n = len(b)
+        want_prefix = [int(s) for s in first.all_prefix_scores(a, b)]
+        want_suffix = [int(s) for s in first.all_suffix_scores(a, b)]
+
+        second = QueryEngine(store=KernelStore(root), dense_threshold=2)
+        assert [int(s) for s in second.all_prefix_scores(a, b)] == want_prefix
+        assert [int(s) for s in second.all_suffix_scores(a, b)] == want_suffix
+        assert want_prefix == [lcs_score_dp(a, b[:r]) for r in range(n + 1)]
+        assert second.kernel_builds == 0  # disk hit, no recomb
+
+
 @given(
     st.lists(st.integers(0, 255), min_size=1, max_size=12),
     st.lists(st.integers(0, 255), min_size=1, max_size=6),

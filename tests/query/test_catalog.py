@@ -22,6 +22,7 @@ class TestCatalog:
             "all_suffix_scores",
             "substring_threshold_matches",
             "append",
+            "prepend",
         ):
             assert op in QUERY_OPS
 
@@ -32,6 +33,7 @@ class TestCatalog:
             "windowed_lcs": {"window": 2},
             "substring_threshold_matches": {"theta": 0.5, "window": 2},
             "append": {"suffix": "ba"},
+            "prepend": {"prefix": "ba"},
         }
         for op in QUERY_OPS:
             result = eng.answer(op, "abab", "baba", **params.get(op, {}))

@@ -150,6 +150,107 @@ class TestAppend:
         assert got == lcs_score_dp(A + "XYZ", B)
 
 
+class TestPrepend:
+    def test_prepend_equals_from_scratch(self):
+        eng = QueryEngine()
+        composite = eng.prepend("XYZing", A, B)
+        scratch = semilocal_lcs("XYZing" + A, B)
+        np.testing.assert_array_equal(composite.kernel, scratch.kernel)
+        assert eng.prepends == 1
+
+    def test_prepend_caches_extended_pair(self):
+        eng = QueryEngine()
+        eng.prepend("XYZ", A, B)
+        assert eng.cached("XYZ" + A, B)
+        builds = eng.kernel_builds
+        assert eng.lcs("XYZ" + A, B) == lcs_score_dp("XYZ" + A, B)
+        assert eng.kernel_builds == builds  # plain hit, no recomb
+
+    def test_empty_prefix_is_base_kernel(self):
+        eng = QueryEngine()
+        assert eng.prepend("", A, B).lcs_whole() == lcs_score_dp(A, B)
+        assert eng.prepends == 0
+
+    def test_answer_prepend_returns_score(self):
+        eng = QueryEngine()
+        got = eng.answer("prepend", A, B, prefix="XYZ")
+        assert got == lcs_score_dp("XYZ" + A, B)
+
+    def test_prepend_then_append_compose(self):
+        eng = QueryEngine()
+        eng.append(A, "tail", B)
+        eng.prepend("head", A + "tail", B)
+        assert eng.cached("head" + A + "tail", B)
+        assert eng.lcs("head" + A + "tail", B) == lcs_score_dp("head" + A + "tail", B)
+
+
+class TestCounterPersistence:
+    """The tentpole regression: a KernelStore disk hit must answer
+    array-valued queries without re-running the O(n log n) counter
+    build (``kernel.counter_builds`` pinned at zero on the second
+    engine). ``dense_threshold=4`` forces the persistable wavelet
+    counter on these short test strings."""
+
+    def test_store_hit_skips_counter_build(self, tmp_path):
+        from repro.obs.metrics import get_metrics
+
+        first = QueryEngine(store=KernelStore(tmp_path / "c"), dense_threshold=4)
+        baseline = [int(s) for s in first.all_prefix_scores(A, B)]
+
+        builds = get_metrics().counter("kernel.counter_builds")
+        before = builds.value
+        second = QueryEngine(store=KernelStore(tmp_path / "c"), dense_threshold=4)
+        out = [int(s) for s in second.all_prefix_scores(A, B)]
+        assert out == baseline
+        assert out == [lcs_score_dp(A, B[:r]) for r in range(len(B) + 1)]
+        assert builds.value == before  # deserialized sidecar, no rebuild
+        assert second.kernel_builds == 0  # and no recomb either
+
+    def test_pre_sidecar_artifact_still_loads(self, tmp_path):
+        """Artifacts written before counter sidecars existed (no
+        ``counter_sha256`` in the manifest) keep answering queries —
+        the counter is simply rebuilt."""
+        store = KernelStore(tmp_path / "c")
+        eng = QueryEngine(store=store, dense_threshold=4)
+        key = eng.key_of(A, B)
+        perm = eng.kernel(A, B).kernel
+        store.put(key, perm, algorithm=QUERY_ALGORITHM, m=len(A), n=len(B))
+        assert not store._counter_path(key).exists()
+
+        fresh = QueryEngine(store=KernelStore(tmp_path / "c"), dense_threshold=4)
+        out = [int(s) for s in fresh.all_prefix_scores(A, B)]
+        assert out == [lcs_score_dp(A, B[:r]) for r in range(len(B) + 1)]
+        assert fresh.kernel_builds == 0  # permutation still a disk hit
+
+    def test_corrupt_sidecar_never_poisons_answers(self, tmp_path):
+        store = KernelStore(tmp_path / "c")
+        QueryEngine(store=store, dense_threshold=4).lcs(A, B)
+        key = QueryEngine().key_of(A, B)
+        sidecar = store._counter_path(key)
+        assert sidecar.exists()
+        sidecar.write_bytes(b"garbage")
+
+        fresh = QueryEngine(store=KernelStore(tmp_path / "c"), dense_threshold=4)
+        assert fresh.lcs(A, B) == lcs_score_dp(A, B)
+
+    def test_counter_kind_is_threaded(self, tmp_path):
+        eng = QueryEngine(
+            store=KernelStore(tmp_path / "c"),
+            dense_threshold=4,
+            counter_kind="merge-sort-tree",
+        )
+        assert eng.kernel(A, B).counter_kind == "merge-sort-tree"
+        # the persisted sidecar revives as the same kind on a new engine
+        second = QueryEngine(
+            store=KernelStore(tmp_path / "c"),
+            dense_threshold=4,
+            counter_kind="merge-sort-tree",
+        )
+        kern = second.kernel(A, B)
+        assert kern.counter_kind == "merge-sort-tree"
+        assert kern._counter.kind == "merge-sort-tree"
+
+
 class TestStats:
     def test_stats_document(self, tmp_path):
         eng = QueryEngine(store=KernelStore(tmp_path / "c"))

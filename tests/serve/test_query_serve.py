@@ -45,6 +45,11 @@ class TestQueryRoundTrips:
                     {"type": "query", "op": "append", "a": A, "b": B,
                      "params": {"suffix": "XYZ"}},
                 )
+                out["prepend"] = await _request(
+                    server.port,
+                    {"type": "query", "op": "prepend", "a": A, "b": B,
+                     "params": {"prefix": "XYZ"}},
+                )
             finally:
                 await server.aclose()
             return out, server
@@ -58,10 +63,11 @@ class TestQueryRoundTrips:
         assert out["prefix"]["result"][-1] == lcs_score_dp(A, B)
         assert out["suffix"]["result"][0] == lcs_score_dp(A, B)
         assert out["append"]["result"] == lcs_score_dp(A + "XYZ", B)
+        assert out["prepend"]["result"] == lcs_score_dp("XYZ" + A, B)
         # first query missed, the rest hit the cached kernel inline
         assert server.query_misses == 1
-        assert server.query_hits == 5
-        assert server.engine.queries_served == 6
+        assert server.query_hits == 6
+        assert server.engine.queries_served == 7
 
     def test_miss_builds_ride_the_scheduler(self):
         """A cache-miss query gets its kernel from the flush group's
@@ -170,6 +176,15 @@ class TestQueryValidation:
 
     def test_missing_suffix(self):
         self._reject({"op": "append", "a": "x", "b": "y"}, "suffix")
+
+    def test_missing_prefix(self):
+        self._reject({"op": "prepend", "a": "x", "b": "y"}, "prefix")
+
+    def test_prepend_rejects_append_param(self):
+        self._reject(
+            {"op": "prepend", "a": "x", "b": "y", "params": {"suffix": "z"}},
+            "unknown params",
+        )
 
     def test_window_larger_than_b_is_structured_error(self):
         """Semantically-invalid params that pass shape validation come
